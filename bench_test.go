@@ -1,0 +1,289 @@
+// Root benchmarks: one testing.B benchmark per paper table and figure
+// (wrapping the internal/bench experiment runners, reporting the
+// headline ratio of each artifact as a custom metric), plus
+// micro-benchmarks of the core capture and integration paths.
+//
+//	go test -bench=. -benchmem
+package opdelta_test
+
+import (
+	"fmt"
+	"testing"
+
+	"opdelta"
+	"opdelta/internal/bench"
+	"opdelta/internal/workload"
+)
+
+// experimentCfg keeps the table/figure wrappers at a per-iteration cost
+// of a few seconds.
+func experimentCfg(b *testing.B) bench.Config {
+	b.Helper()
+	return bench.Config{
+		WorkDir:   b.TempDir(),
+		TableRows: 20_000,
+		DeltaRows: []int{5_000, 10_000, 20_000},
+		TxnSizes:  []int{10, 100, 1000},
+		Repeats:   3,
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (Export / Import / DBMS Loader)
+// and reports the Import-to-Loader ratio at the largest delta.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable1(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := res.ColHeads[len(res.ColHeads)-1]
+		b.ReportMetric(res.Get("Import", big)/res.Get("DBMS Loader", big), "import/loader")
+	}
+}
+
+// BenchmarkTables2And3 regenerates Tables 2 and 3 (timestamp extraction
+// output shapes and end-to-end paths) and reports the end-to-end
+// table-path to file-path ratio.
+func BenchmarkTables2And3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t3, err := bench.RunTables23(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := t3.ColHeads[len(t3.ColHeads)-1]
+		b.ReportMetric(
+			t3.Get("Time Stamp table output + Export + Import", big)/
+				t3.Get("Time Stamp file output + DBMS Loader", big),
+			"tablepath/filepath")
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (trigger overhead) and reports
+// the insert overhead percentage at the largest transaction size.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure2(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := res.ColHeads[len(res.ColHeads)-1]
+		b.ReportMetric(res.Get("Insert", big), "insert-overhead-%")
+		b.ReportMetric(res.Get("Update", big), "update-overhead-%")
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (Op-Delta capture overhead).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure3(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := res.ColHeads[len(res.ColHeads)-1]
+		b.ReportMetric(res.Get("Insert", big), "insert-overhead-%")
+		b.ReportMetric(res.Get("Update", big), "update-overhead-%")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (DB op log vs file op log) and
+// reports the insert response-time ratio at the largest size.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable4(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := res.ColHeads[len(res.ColHeads)-1]
+		b.ReportMetric(res.Get("Insert (DBLog)", big)/res.Get("Insert (FileLog)", big), "dblog/filelog")
+	}
+}
+
+// BenchmarkMaintWindow regenerates the §4.1 maintenance-window
+// comparison (E7) and reports the update-window ratio.
+func BenchmarkMaintWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunMaintWindow(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := res.ColHeads[len(res.ColHeads)-1]
+		b.ReportMetric(res.Get("Update (ValueDelta)", big)/res.Get("Update (OpDelta)", big), "value/op-window")
+	}
+}
+
+// BenchmarkRemoteCapture regenerates E8 and reports the remote/local
+// capture cost ratio.
+func BenchmarkRemoteCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunRemoteCapture(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Get("Ratio (x)", "txn response time"), "remote/local")
+	}
+}
+
+// BenchmarkConcurrent regenerates E9 and reports the worst reader
+// latency under each integrator.
+func BenchmarkConcurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunConcurrent(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Get("ValueDelta batch", "max reader latency"), "value-maxlat-ms")
+		b.ReportMetric(res.Get("OpDelta per-txn", "max reader latency"), "op-maxlat-ms")
+	}
+}
+
+// BenchmarkVolume regenerates E10 and reports the value/op volume ratio
+// for update transactions at the largest size.
+func BenchmarkVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunVolume(experimentCfg(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		big := res.ColHeads[len(res.ColHeads)-1]
+		b.ReportMetric(res.Get("Update (ValueDelta)", big)/res.Get("Update (OpDelta)", big), "value/op-bytes")
+	}
+}
+
+// --- Micro-benchmarks of the core paths -------------------------------
+
+func newBenchSource(b *testing.B, rows int) *opdelta.DB {
+	b.Helper()
+	clock := workload.NewClock()
+	db, err := opdelta.Open(b.TempDir(), opdelta.Options{Now: clock.Now})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if err := workload.CreateParts(db); err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.Populate(db, rows); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkEngineInsert measures the plain single-row insert path.
+func BenchmarkEngineInsert(b *testing.B) {
+	db := newBenchSource(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(nil, workload.SingleInsertStmt(int64(10_000+i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineInsertWithTrigger measures the same insert with
+// trigger-based value capture installed (Figure 2's instrumented path).
+func BenchmarkEngineInsertWithTrigger(b *testing.B) {
+	db := newBenchSource(b, 1000)
+	cap := &opdelta.TriggerCapture{DB: db, Table: "parts"}
+	if err := cap.Install(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(nil, workload.SingleInsertStmt(int64(10_000+i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineInsertWithOpCapture measures the same insert with
+// Op-Delta capture into a table log (Figure 3's instrumented path).
+func BenchmarkEngineInsertWithOpCapture(b *testing.B) {
+	db := newBenchSource(b, 1000)
+	log, err := opdelta.NewTableLog(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capture := &opdelta.Capture{DB: db, Log: log}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := capture.Exec(nil, workload.SingleInsertStmt(int64(10_000+i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeUpdate measures an indexed 100-row range update.
+func BenchmarkRangeUpdate(b *testing.B) {
+	db := newBenchSource(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		first := int64((i * 100) % 19_000)
+		if _, err := db.Exec(nil, workload.UpdateStmt(first, 100, fmt.Sprintf("m%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanQuery measures a full-scan predicate query over 20k rows.
+func BenchmarkScanQuery(b *testing.B) {
+	db := newBenchSource(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Query(nil, workload.ScanStatement()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotDiffSortMerge measures the exact snapshot diff over
+// 20k-row snapshots.
+func BenchmarkSnapshotDiffSortMerge(b *testing.B) {
+	db := newBenchSource(b, 20_000)
+	dir := b.TempDir()
+	oldSnap := dir + "/old.snap"
+	newSnap := dir + "/new.snap"
+	if _, err := opdelta.WriteSnapshot(db, "parts", oldSnap); err != nil {
+		b.Fatal(err)
+	}
+	db.Exec(nil, workload.UpdateStmt(0, 1000, "diffme"))
+	if _, err := opdelta.WriteSnapshot(db, "parts", newSnap); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Table("parts")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := opdelta.DiffSortMerge(oldSnap, newSnap, tbl.Schema, 0, func(opdelta.SnapshotChange) error {
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != 1000 {
+			b.Fatalf("diff = %d changes", n)
+		}
+	}
+}
+
+// BenchmarkSnapshotDiffWindow measures the bounded-memory window diff
+// on the same snapshots.
+func BenchmarkSnapshotDiffWindow(b *testing.B) {
+	db := newBenchSource(b, 20_000)
+	dir := b.TempDir()
+	oldSnap := dir + "/old.snap"
+	newSnap := dir + "/new.snap"
+	opdelta.WriteSnapshot(db, "parts", oldSnap)
+	db.Exec(nil, workload.UpdateStmt(0, 1000, "diffme"))
+	opdelta.WriteSnapshot(db, "parts", newSnap)
+	tbl, _ := db.Table("parts")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := opdelta.DiffWindow(oldSnap, newSnap, tbl.Schema, 0, 256, func(opdelta.SnapshotChange) error {
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package opdelta_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opdelta"
+)
+
+// buildCLIs compiles the command binaries once per test run.
+func buildCLIs(t *testing.T) (benchtables, opdeltad, dwctl string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"benchtables", "opdeltad", "dwctl"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+	}
+	return filepath.Join(dir, "benchtables"), filepath.Join(dir, "opdeltad"), filepath.Join(dir, "dwctl")
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+const cliDDL = `CREATE TABLE parts (part_id BIGINT NOT NULL, status VARCHAR, qty BIGINT, last_modified TIMESTAMP) PRIMARY KEY (part_id) TIMESTAMP COLUMN (last_modified)`
+
+// TestCLIPipeline drives the shipped binaries end to end: seed a source
+// with op capture, extract with opdeltad (op-delta and timestamp
+// methods), initialize a warehouse with dwctl, apply the ops, query.
+func TestCLIPipeline(t *testing.T) {
+	_, opdeltad, dwctl := buildCLIs(t)
+	work := t.TempDir()
+	srcDir := filepath.Join(work, "src")
+	outDir := filepath.Join(work, "out")
+	whDir := filepath.Join(work, "wh")
+
+	// Seed the source in-process (an application would own this engine).
+	src, err := opdelta.Open(srcDir, opdelta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Exec(nil, cliDDL); err != nil {
+		t.Fatal(err)
+	}
+	oplog, err := opdelta.NewTableLog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := &opdelta.Capture{DB: src, Log: oplog}
+	for i := 0; i < 30; i++ {
+		if _, err := capture.Exec(nil, fmt.Sprintf(
+			`INSERT INTO parts (part_id, status, qty) VALUES (%d, 's%d', %d)`, i, i%3, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := capture.Exec(nil, `UPDATE parts SET status = 'rev' WHERE part_id BETWEEN 5 AND 9`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture.Exec(nil, `DELETE FROM parts WHERE part_id >= 25`); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract with the daemon: once via op-delta, once via timestamps.
+	out := run(t, opdeltad, "-src", srcDir, "-out", outDir, "-table", "parts", "-method", "opdelta")
+	if !strings.Contains(out, "extracted 32 deltas") {
+		t.Fatalf("opdelta extraction output: %q", out)
+	}
+	out = run(t, opdeltad, "-src", srcDir, "-out", outDir, "-table", "parts", "-method", "timestamp")
+	if !strings.Contains(out, "extracted 25 deltas") { // 30 inserts - 5 deleted survivors... timestamps see live rows only
+		t.Fatalf("timestamp extraction output: %q", out)
+	}
+	// A second pass finds nothing new (cursors persisted).
+	out = run(t, opdeltad, "-src", srcDir, "-out", outDir, "-table", "parts", "-method", "opdelta")
+	if !strings.Contains(out, "no changes") {
+		t.Fatalf("second pass: %q", out)
+	}
+
+	// Warehouse: init, apply ops, query.
+	run(t, dwctl, "-dir", whDir, "init", "-ddl", cliDDL)
+	out = run(t, dwctl, "-dir", whDir, "apply-ops", "-table", "parts",
+		"-file", filepath.Join(outDir, "parts.000001.ops"))
+	if !strings.Contains(out, "applied 32 ops") {
+		t.Fatalf("apply-ops output: %q", out)
+	}
+	out = run(t, dwctl, "-dir", whDir, "query", "-sql",
+		`SELECT COUNT(*), SUM(qty) FROM parts`)
+	if !strings.Contains(out, "25") { // 30 - 5 deleted
+		t.Fatalf("count query: %q", out)
+	}
+	out = run(t, dwctl, "-dir", whDir, "query", "-sql",
+		`SELECT part_id, status FROM parts WHERE part_id BETWEEN 5 AND 6 ORDER BY part_id`)
+	if !strings.Contains(out, "rev") {
+		t.Fatalf("revised rows missing: %q", out)
+	}
+	out = run(t, dwctl, "-dir", whDir, "stats")
+	if !strings.Contains(out, "parts") || !strings.Contains(out, "rows=25") {
+		t.Fatalf("stats output: %q", out)
+	}
+}
+
+// TestCLIValueDeltaPath drives the trigger-capture + apply-deltas path.
+func TestCLIValueDeltaPath(t *testing.T) {
+	_, opdeltad, dwctl := buildCLIs(t)
+	work := t.TempDir()
+	srcDir := filepath.Join(work, "src")
+	outDir := filepath.Join(work, "out")
+	whDir := filepath.Join(work, "wh")
+
+	src, err := opdelta.Open(srcDir, opdelta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Exec(nil, cliDDL); err != nil {
+		t.Fatal(err)
+	}
+	vc := &opdelta.TriggerCapture{DB: src, Table: "parts"}
+	if err := vc.Install(); err != nil {
+		t.Fatal(err)
+	}
+	src.Exec(nil, `INSERT INTO parts (part_id, status, qty) VALUES (1, 'a', 1), (2, 'b', 2)`)
+	src.Exec(nil, `UPDATE parts SET qty = 99 WHERE part_id = 2`)
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := run(t, opdeltad, "-src", srcDir, "-out", outDir, "-table", "parts", "-method", "trigger")
+	if !strings.Contains(out, "extracted 3 deltas") {
+		t.Fatalf("trigger extraction: %q", out)
+	}
+	run(t, dwctl, "-dir", whDir, "init", "-ddl", cliDDL)
+	out = run(t, dwctl, "-dir", whDir, "apply-deltas", "-table", "parts",
+		"-file", filepath.Join(outDir, "parts.000001.delta"))
+	if !strings.Contains(out, "applied 3 value deltas") {
+		t.Fatalf("apply-deltas: %q", out)
+	}
+	out = run(t, dwctl, "-dir", whDir, "query", "-sql", `SELECT qty FROM parts WHERE part_id = 2`)
+	if !strings.Contains(out, "99") {
+		t.Fatalf("updated row missing: %q", out)
+	}
+}

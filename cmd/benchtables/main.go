@@ -1,0 +1,145 @@
+// Command benchtables regenerates every table and figure from the
+// paper's evaluation against this repository's engine, printing
+// paper-shaped result tables.
+//
+// Usage:
+//
+//	benchtables [-e all|t1|t2|t3|f2|f3|t4|e7|e8|e9|e10] [-rows N] [-full] [-work DIR]
+//
+// The default scale finishes in well under a minute on a laptop; -full
+// raises sizes toward the paper's (and takes correspondingly longer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"opdelta/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("e", "all", "experiment: all, t1, t2, t3, f2, f3, t4, e7, e8, e9, e10, a1..a5 (ablations)")
+		rows = flag.Int("rows", 0, "standing source-table rows (default 100000)")
+		full = flag.Bool("full", false, "paper-leaning scale: 1M-row table, deltas to 100MB, txns to 10k")
+		work = flag.String("work", "", "scratch directory (default: a temp dir, removed afterwards)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{TableRows: *rows}
+	if *full {
+		cfg.TableRows = 1_000_000
+		cfg.DeltaRows = []int{100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000}
+		cfg.TxnSizes = []int{10, 100, 1000, 10000}
+	}
+	if *work != "" {
+		cfg.WorkDir = *work
+	} else {
+		dir, err := os.MkdirTemp("", "opdelta-bench-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.WorkDir = dir
+	}
+
+	type runner struct {
+		ids []string
+		fn  func(bench.Config) ([]*bench.Result, error)
+	}
+	runners := []runner{
+		{[]string{"t1"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunTable1(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"t2", "t3"}, func(c bench.Config) ([]*bench.Result, error) {
+			a, b, err := bench.RunTables23(c)
+			return []*bench.Result{a, b}, err
+		}},
+		{[]string{"f2"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunFigure2(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"f3"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunFigure3(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"t4"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunTable4(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"e7"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunMaintWindow(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"e8"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunRemoteCapture(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"e9"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunConcurrent(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"e10"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunVolume(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"a1"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunHybridAblation(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"a2"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunImportPoolSweep(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"a3"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunSyncPolicyAblation(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"a4"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunSnapshotDiffAblation(c)
+			return []*bench.Result{r}, err
+		}},
+		{[]string{"a5"}, func(c bench.Config) ([]*bench.Result, error) {
+			r, err := bench.RunTimestampIndexAblation(c)
+			return []*bench.Result{r}, err
+		}},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, r := range runners {
+		// Ablations (a*) run only when named explicitly or with -e ablations.
+		isAblation := strings.HasPrefix(r.ids[0], "a")
+		match := (want == "all" && !isAblation) || (want == "ablations" && isAblation)
+		for _, id := range r.ids {
+			if id == want {
+				match = true
+			}
+		}
+		if !match {
+			continue
+		}
+		start := time.Now()
+		results, err := r.fn(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, res := range results {
+			fmt.Println(res.Render())
+		}
+		fmt.Printf("  (%s in %s)\n\n", strings.Join(r.ids, "+"), time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown experiment %q (want all, ablations, t1, t2, t3, f2, f3, t4, e7..e10, a1..a4)", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

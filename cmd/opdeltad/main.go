@@ -1,0 +1,270 @@
+// Command opdeltad is the extraction daemon: it runs delta extraction
+// passes against a source database directory using any of the paper's
+// methods and writes the results to an output directory, maintaining
+// the method's cursor across invocations.
+//
+// Usage:
+//
+//	opdeltad -src DIR -out DIR -table parts -method METHOD [-watch INTERVAL]
+//
+// Methods:
+//
+//	timestamp  SELECT rows whose last-modified column advanced (upserts only)
+//	trigger    drain the trigger-capture table (must be installed by the app)
+//	log        mine committed changes from the WAL/archive
+//	snapshot   snapshot the table and diff against the previous snapshot
+//	opdelta    read captured operations from the op log table
+//
+// Each pass appends a numbered delta file (<table>.<seq>.delta for value
+// deltas, <table>.<seq>.ops for operations) to the output directory.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/extract"
+	"opdelta/internal/opdelta"
+	"opdelta/internal/wal"
+)
+
+func main() {
+	var (
+		srcDir  = flag.String("src", "", "source database directory (required)")
+		outDir  = flag.String("out", "", "output directory for delta files and cursors (required)")
+		table   = flag.String("table", "parts", "source table to extract from")
+		method  = flag.String("method", "timestamp", "timestamp|trigger|log|snapshot|opdelta")
+		watch   = flag.Duration("watch", 0, "re-extract on this interval (0 = one pass)")
+		window  = flag.Int("window", 0, "snapshot method: window rows (0 = exact sort-merge)")
+		archive = flag.Bool("archive", false, "log method: mine the archive directory instead of the live WAL")
+	)
+	flag.Parse()
+	if *srcDir == "" || *outDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	db, err := engine.Open(*srcDir, engine.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	for {
+		n, out, err := runPass(db, *method, *table, *outDir, *window, *archive)
+		if err != nil {
+			fatal(err)
+		}
+		if n > 0 {
+			fmt.Printf("%s: extracted %d deltas via %s -> %s\n", *table, n, *method, out)
+		} else {
+			fmt.Printf("%s: no changes\n", *table)
+		}
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// cursor files persist each method's extraction position across runs.
+func cursorPath(outDir, method, table string) string {
+	return filepath.Join(outDir, fmt.Sprintf("%s.%s.cursor", table, method))
+}
+
+func loadCursor(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+}
+
+func saveCursor(path string, v uint64) error {
+	return os.WriteFile(path, []byte(strconv.FormatUint(v, 10)), 0o644)
+}
+
+// nextOutputPath allocates the next numbered delta file.
+func nextOutputPath(outDir, table, ext string) (string, error) {
+	for seq := 1; ; seq++ {
+		path := filepath.Join(outDir, fmt.Sprintf("%s.%06d.%s", table, seq, ext))
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+func runPass(db *engine.DB, method, table, outDir string, window int, archive bool) (int, string, error) {
+	tbl, err := db.Table(table)
+	if err != nil {
+		return 0, "", err
+	}
+	switch method {
+	case "timestamp":
+		cpath := cursorPath(outDir, method, table)
+		cur, err := loadCursor(cpath)
+		if err != nil {
+			return 0, "", err
+		}
+		ex := &extract.TimestampExtractor{DB: db, Table: table, Since: time.Unix(0, int64(cur))}
+		n, out, err := extractToFile(ex, tbl.Schema, outDir, table)
+		if err != nil {
+			return 0, "", err
+		}
+		return n, out, saveCursor(cpath, uint64(ex.Since.UnixNano()))
+	case "trigger":
+		sink, err := extract.EnsureDeltaTable(db, table)
+		if err != nil {
+			return 0, "", err
+		}
+		out, err := nextOutputPath(outDir, table, "delta")
+		if err != nil {
+			return 0, "", err
+		}
+		fs, err := extract.NewFileSink(out, tbl.Schema)
+		if err != nil {
+			return 0, "", err
+		}
+		n, err := sink.Drain(fs)
+		if err != nil {
+			fs.Close()
+			return 0, "", err
+		}
+		if err := fs.Close(); err != nil {
+			return 0, "", err
+		}
+		if n == 0 {
+			os.Remove(out)
+		}
+		return n, out, nil
+	case "log":
+		dir := db.WALDir()
+		if archive {
+			dir = db.ArchiveDir()
+		}
+		cpath := cursorPath(outDir, method, table)
+		cur, err := loadCursor(cpath)
+		if err != nil {
+			return 0, "", err
+		}
+		miner := &extract.LogMiner{Dir: dir, FromLSN: wal.LSN(cur),
+			Schemas: map[string]*catalog.Schema{table: tbl.Schema}}
+		n, out, err := extractToFile(miner, tbl.Schema, outDir, table)
+		if err != nil {
+			return 0, "", err
+		}
+		return n, out, saveCursor(cpath, uint64(miner.FromLSN))
+	case "snapshot":
+		ex := &extract.SnapshotExtractor{DB: db, Table: table, Dir: outDir, WindowRows: window}
+		// Snapshot rotation state lives in the out dir; a previous
+		// snapshot marks a warm cursor.
+		if _, err := os.Stat(filepath.Join(outDir, table+".prev.snap")); err == nil {
+			ex.PrimeFromExisting()
+		}
+		return extractToFile(ex, tbl.Schema, outDir, table)
+	case "opdelta":
+		log, err := opdelta.NewTableLog(db)
+		if err != nil {
+			return 0, "", err
+		}
+		cpath := cursorPath(outDir, method, table)
+		cur, err := loadCursor(cpath)
+		if err != nil {
+			return 0, "", err
+		}
+		ops, err := log.Read(cur)
+		if err != nil {
+			return 0, "", err
+		}
+		if len(ops) == 0 {
+			return 0, "", nil
+		}
+		out, err := nextOutputPath(outDir, table, "ops")
+		if err != nil {
+			return 0, "", err
+		}
+		if err := writeOpsFile(out, ops, tbl.Schema); err != nil {
+			return 0, "", err
+		}
+		return len(ops), out, saveCursor(cpath, ops[len(ops)-1].Seq)
+	default:
+		return 0, "", fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func extractToFile(ex extract.Extractor, schema *catalog.Schema, outDir, table string) (int, string, error) {
+	out, err := nextOutputPath(outDir, table, "delta")
+	if err != nil {
+		return 0, "", err
+	}
+	fs, err := extract.NewFileSink(out, schema)
+	if err != nil {
+		return 0, "", err
+	}
+	n, err := ex.Extract(fs)
+	if err != nil {
+		fs.Close()
+		return 0, "", err
+	}
+	if err := fs.Close(); err != nil {
+		return 0, "", err
+	}
+	if n == 0 {
+		os.Remove(out)
+	}
+	return n, out, nil
+}
+
+// writeOpsFile serializes ops in the FileLog framing so dwctl apply-ops
+// can read them back.
+func writeOpsFile(path string, ops []*opdelta.Op, schema *catalog.Schema) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		payload, err := op.Encode(nil, schema)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		var hdr [4]byte
+		hdr[0] = byte(len(payload))
+		hdr[1] = byte(len(payload) >> 8)
+		hdr[2] = byte(len(payload) >> 16)
+		hdr[3] = byte(len(payload) >> 24)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opdeltad:", err)
+	os.Exit(1)
+}

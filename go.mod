@@ -1,0 +1,3 @@
+module opdelta
+
+go 1.22

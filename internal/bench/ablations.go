@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"opdelta/internal/engine"
+	"opdelta/internal/loadutil"
+	"opdelta/internal/opdelta"
+	"opdelta/internal/snapdiff"
+	"opdelta/internal/wal"
+	"opdelta/internal/workload"
+)
+
+// RunHybridAblation measures the cost of self-maintainability: the same
+// update transactions captured as pure Op-Delta versus hybrid (op +
+// before images demanded by a projection view that drops the predicate
+// column). The hybrid pays one extra predicate evaluation pass plus the
+// before-image encoding — the price §4.1 describes for views that
+// cannot absorb the op alone.
+func RunHybridAblation(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:       "a1-hybrid",
+		Title:    "Ablation: pure Op-Delta vs hybrid (op + before images) capture",
+		Unit:     "ms",
+		RowHeads: []string{"Update (pure op)", "Update (hybrid)", "Hybrid bytes", "Pure bytes"},
+		Notes: []string{
+			"hybrid capture = op + before images of affected rows, required when a view drops predicate columns",
+		},
+	}
+	res.Values = make([][]float64, 4)
+
+	db, _, err := populatedSource(&cfg, "a1-src", cfg.TableRows, false)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	tbl, _ := db.Table("parts")
+	log, err := opdelta.NewTableLog(db)
+	if err != nil {
+		return nil, err
+	}
+	// The slim view drops qty; predicates on qty force hybrid capture.
+	slimView := opdelta.ViewDef{Name: "slim", Source: "parts",
+		Project: []string{"part_id", "status"}, SourcePK: "part_id"}
+	pure := &opdelta.Capture{DB: db, Log: log}
+	hybrid := &opdelta.Capture{DB: db, Log: log, Analyzer: opdelta.NewAnalyzer(slimView)}
+
+	for _, k := range cfg.TxnSizes {
+		res.ColHeads = append(res.ColHeads, fmt.Sprintf("%d", k))
+		// The statement predicates on qty (which every row satisfies for
+		// a contiguous id range thanks to the BETWEEN bound on part_id
+		// being decisive) so both variants touch exactly k rows.
+		stmt := func(marker string) string {
+			return fmt.Sprintf("UPDATE parts SET status = '%s' WHERE part_id BETWEEN 0 AND %d AND qty >= 0",
+				marker, k-1)
+		}
+		measure := func(c *opdelta.Capture, marker string) (time.Duration, error) {
+			var samples []time.Duration
+			for rep := 0; rep < effectiveRepeats(&cfg, k); rep++ {
+				start := time.Now()
+				if _, err := c.Exec(nil, stmt(fmt.Sprintf("%s%d", marker, rep))); err != nil {
+					return 0, err
+				}
+				samples = append(samples, time.Since(start))
+			}
+			return median(samples), nil
+		}
+		pureDur, err := measure(pure, "p")
+		if err != nil {
+			return nil, err
+		}
+		hybridDur, err := measure(hybrid, "h")
+		if err != nil {
+			return nil, err
+		}
+		// Volume of the last op of each variant.
+		ops, err := log.Read(0)
+		if err != nil {
+			return nil, err
+		}
+		var pureBytes, hybridBytes float64
+		for _, op := range ops {
+			sz := float64(op.EncodedSize(tbl.Schema))
+			if op.Hybrid {
+				hybridBytes = sz
+			} else {
+				pureBytes = sz
+			}
+		}
+		if err := log.Truncate(^uint64(0) >> 1); err != nil {
+			return nil, err
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		res.Values[0] = append(res.Values[0], ms(pureDur))
+		res.Values[1] = append(res.Values[1], ms(hybridDur))
+		res.Values[2] = append(res.Values[2], hybridBytes)
+		res.Values[3] = append(res.Values[3], pureBytes)
+	}
+	return res, nil
+}
+
+// RunImportPoolSweep measures Import's sensitivity to the destination
+// buffer pool — the knob behind Table 1's superlinear Import growth:
+// once the table outgrows the pool, every insert risks an eviction
+// write-back.
+func RunImportPoolSweep(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	pools := []int{16, 64, 256, 1024}
+	res := &Result{
+		ID:       "a2-pool",
+		Title:    "Ablation: Import time vs destination buffer pool size",
+		Unit:     "s",
+		ColHeads: []string{},
+		RowHeads: []string{"Import"},
+		Notes:    []string{"fixed delta, varying pool pages; the paper's Import curve bends when data outgrows memory"},
+	}
+	res.Values = make([][]float64, 1)
+	rows := cfg.DeltaRows[len(cfg.DeltaRows)-1]
+
+	src, _, err := populatedSource(&cfg, "a2-src", rows, false)
+	if err != nil {
+		return nil, err
+	}
+	expPath := src.Dir() + "/../delta.exp"
+	if _, err := loadutil.Export(src, "parts", expPath); err != nil {
+		src.Close()
+		return nil, err
+	}
+	src.Close()
+
+	for _, pool := range pools {
+		res.ColHeads = append(res.ColHeads, fmt.Sprintf("%dp", pool))
+		dir, err := scratch(&cfg, fmt.Sprintf("a2-dst-%d", pool))
+		if err != nil {
+			return nil, err
+		}
+		clock := workload.NewClock()
+		db, err := engine.Open(dir, engine.Options{Now: clock.Now, PoolPages: pool, WALSync: wal.SyncFull})
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.CreateParts(db); err != nil {
+			db.Close()
+			return nil, err
+		}
+		d, err := timeIt(func() error {
+			_, err := loadutil.Import(db, "parts", expPath, loadutil.ImportOptions{BatchRows: 500})
+			return err
+		})
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Values[0] = append(res.Values[0], d.Seconds())
+	}
+	return res, nil
+}
+
+// RunSyncPolicyAblation measures insert-transaction response time under
+// the three WAL durability policies — the commit-cost knob that
+// separates the op-log variants in Table 4 and the Import/Loader gap in
+// Table 1.
+func RunSyncPolicyAblation(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:       "a3-sync",
+		Title:    "Ablation: 100-row insert txn response time vs WAL durability",
+		Unit:     "ms",
+		ColHeads: []string{"txn response time"},
+		RowHeads: []string{"SyncNone", "SyncFlush", "SyncFull"},
+	}
+	policies := []wal.SyncPolicy{wal.SyncNone, wal.SyncFlush, wal.SyncFull}
+	for _, pol := range policies {
+		dir, err := scratch(&cfg, fmt.Sprintf("a3-%d", pol))
+		if err != nil {
+			return nil, err
+		}
+		clock := workload.NewClock()
+		db, err := engine.Open(dir, engine.Options{Now: clock.Now, WALSync: pol})
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.CreateParts(db); err != nil {
+			db.Close()
+			return nil, err
+		}
+		var samples []time.Duration
+		for rep := 0; rep < cfg.Repeats*5; rep++ {
+			first := int64(rep * 100)
+			d, err := runTxn(db, db.Exec, txnInsert, first, 100, "")
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			samples = append(samples, d)
+		}
+		db.Close()
+		res.Values = append(res.Values, []float64{float64(median(samples)) / float64(time.Millisecond)})
+	}
+	return res, nil
+}
+
+// RunSnapshotDiffAblation compares the two snapshot differential
+// algorithms on the same snapshot pair: the exact sort-merge versus the
+// window algorithm at several window sizes, reporting runtime and
+// output volume (the window algorithm's documented trade-off).
+func RunSnapshotDiffAblation(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:       "a4-snapdiff",
+		Title:    "Ablation: snapshot differential algorithms",
+		Unit:     "ms",
+		ColHeads: []string{"runtime", "changes emitted"},
+		RowHeads: []string{"sort-merge", "window-64", "window-4096"},
+		Notes:    []string{"small windows may emit delete+insert pairs instead of updates; state reconstruction stays exact"},
+	}
+	db, _, err := populatedSource(&cfg, "a4-src", cfg.TableRows, false)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	dir := db.Dir()
+	oldSnap := dir + "/old.snap"
+	newSnap := dir + "/new.snap"
+	if _, err := snapdiff.WriteSnapshot(db, "parts", oldSnap); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec(nil, workload.UpdateStmt(0, cfg.TableRows/10, "diffme")); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec(nil, workload.DeleteStmt(int64(cfg.TableRows)-50, 50)); err != nil {
+		return nil, err
+	}
+	if _, err := snapdiff.WriteSnapshot(db, "parts", newSnap); err != nil {
+		return nil, err
+	}
+	tbl, _ := db.Table("parts")
+
+	run := func(window int) error {
+		n := 0
+		emit := func(snapdiff.Change) error { n++; return nil }
+		start := time.Now()
+		var err error
+		if window == 0 {
+			err = snapdiff.DiffSortMerge(oldSnap, newSnap, tbl.Schema, 0, emit)
+		} else {
+			err = snapdiff.DiffWindow(oldSnap, newSnap, tbl.Schema, 0, window, emit)
+		}
+		if err != nil {
+			return err
+		}
+		res.Values = append(res.Values, []float64{
+			float64(time.Since(start)) / float64(time.Millisecond), float64(n)})
+		return nil
+	}
+	for _, w := range []int{0, 64, 4096} {
+		if err := run(w); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RunTimestampIndexAblation (A5) quantifies the paper's §3.1.1 remark
+// that "the time stamp based methods require table scans unless an
+// index is defined on the time stamp attribute": the same timestamp
+// extraction with and without a secondary index on last_modified,
+// across delta sizes. The index wins when the delta is a small fraction
+// of the table and converges as the delta approaches the table size —
+// "indices may not be used ... if the deltas form a significant portion
+// of the table".
+func RunTimestampIndexAblation(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:       "a5-tsindex",
+		Title:    "Ablation: timestamp extraction, scan vs last_modified index",
+		Unit:     "s",
+		RowHeads: []string{"Scan", "Indexed"},
+		Notes:    []string{"paper §3.1.1: extraction scans unless the timestamp attribute is indexed"},
+	}
+	res.Values = make([][]float64, 2)
+	for _, rows := range cfg.DeltaRows {
+		if rows > cfg.TableRows {
+			continue
+		}
+		res.ColHeads = append(res.ColHeads, sizeLabel(rows))
+		for variant := 0; variant < 2; variant++ {
+			src, clock, err := populatedSource(&cfg, fmt.Sprintf("a5-src-%d-%d", rows, variant), cfg.TableRows, false)
+			if err != nil {
+				return nil, err
+			}
+			if variant == 1 {
+				if err := src.CreateSecondaryIndex("parts", "last_modified"); err != nil {
+					src.Close()
+					return nil, err
+				}
+			}
+			cursor := clock.Now()
+			if _, err := src.Exec(nil, workload.UpdateStmt(0, rows, "delta")); err != nil {
+				src.Close()
+				return nil, err
+			}
+			d, err := timeIt(func() error {
+				return timestampToFile(src, cursor, src.Dir()+"/delta.tsv")
+			})
+			src.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Values[variant] = append(res.Values[variant], d.Seconds())
+		}
+	}
+	return res, nil
+}

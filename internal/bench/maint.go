@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"opdelta/internal/extract"
+	"opdelta/internal/opdelta"
+	"opdelta/internal/warehouse"
+	"opdelta/internal/workload"
+)
+
+// capturedWork is one source transaction's worth of deltas in both
+// representations.
+type capturedWork struct {
+	deltas []extract.Delta
+	ops    []*opdelta.Op
+}
+
+// captureSourceTxn runs one transaction of the given kind/size on a
+// fresh source with both capture mechanisms installed and returns both
+// delta representations. Maintenance-window statements use the indexed
+// key-range shapes (the warehouse-side statement economics are what
+// §4.1 measures).
+func captureSourceTxn(cfg *Config, name string, kind txnKind, k int) (*capturedWork, error) {
+	src, _, err := populatedSource(cfg, name, cfg.TableRows, false)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	vc := &extract.TriggerCapture{DB: src, Table: "parts"}
+	if err := vc.Install(); err != nil {
+		return nil, err
+	}
+	log, err := opdelta.NewTableLog(src)
+	if err != nil {
+		return nil, err
+	}
+	oc := &opdelta.Capture{DB: src, Log: log}
+
+	tbl, _ := src.Table("parts")
+	first := tbl.NumRows()
+	tx := src.Begin()
+	switch kind {
+	case txnInsert:
+		for i := 0; i < k; i++ {
+			if _, err := oc.Exec(tx, workload.SingleInsertStmt(first+int64(i))); err != nil {
+				tx.Abort()
+				return nil, err
+			}
+		}
+	case txnDelete:
+		if _, err := oc.Exec(tx, workload.DeleteStmt(0, k)); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	case txnUpdate:
+		if _, err := oc.Exec(tx, workload.UpdateStmt(0, k, "maint")); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	var sink extract.CollectSink
+	if _, err := vc.Extract(&sink); err != nil {
+		return nil, err
+	}
+	ops, err := log.Read(0)
+	if err != nil {
+		return nil, err
+	}
+	return &capturedWork{deltas: sink.Deltas, ops: ops}, nil
+}
+
+// newReplicaWarehouse builds a warehouse holding a populated parts
+// replica of cfg.TableRows rows.
+func newReplicaWarehouse(cfg *Config, name string) (*warehouse.Warehouse, error) {
+	dir, err := scratch(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+	db, _, err := newWarehouseDB(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := warehouse.New(db)
+	if err := w.RegisterReplica("parts", workload.PartsSchema(), "part_id", "last_modified"); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := workload.Populate(db, cfg.TableRows); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// RunMaintWindow reproduces §4.1's maintenance-window experiment (E7):
+// the time to integrate one source transaction of size k into the
+// warehouse, via value deltas versus Op-Deltas, for each transaction
+// kind. The paper reports insert windows equal, delete windows on
+// average 31.8% shorter with Op-Delta, and update windows 69.7%
+// shorter.
+func RunMaintWindow(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "e7-maintwindow",
+		Title: "Warehouse maintenance window: value delta vs Op-Delta (§4.1)",
+		Unit:  "ms",
+		RowHeads: []string{
+			"Insert (ValueDelta)", "Insert (OpDelta)",
+			"Delete (ValueDelta)", "Delete (OpDelta)",
+			"Update (ValueDelta)", "Update (OpDelta)",
+		},
+		Notes: []string{
+			"paper: insert equal; delete 31.8% shorter with Op-Delta; update 69.7% shorter (txn sizes 10..10,000)",
+		},
+	}
+	res.Values = make([][]float64, 6)
+	for _, k := range cfg.TxnSizes {
+		if k > cfg.TableRows {
+			return nil, fmt.Errorf("bench: txn of %d rows exceeds table of %d", k, cfg.TableRows)
+		}
+		res.ColHeads = append(res.ColHeads, fmt.Sprintf("%d", k))
+		for ki, kind := range []txnKind{txnInsert, txnDelete, txnUpdate} {
+			work, err := captureSourceTxn(&cfg, fmt.Sprintf("e7-src-%d-%d", ki, k), kind, k)
+			if err != nil {
+				return nil, err
+			}
+			wv, err := newReplicaWarehouse(&cfg, fmt.Sprintf("e7-wv-%d-%d", ki, k))
+			if err != nil {
+				return nil, err
+			}
+			vStats, err := (&warehouse.ValueDeltaIntegrator{W: wv}).Apply(work.deltas)
+			wv.DB.Close()
+			if err != nil {
+				return nil, err
+			}
+			wo, err := newReplicaWarehouse(&cfg, fmt.Sprintf("e7-wo-%d-%d", ki, k))
+			if err != nil {
+				return nil, err
+			}
+			oStats, err := (&warehouse.OpDeltaIntegrator{W: wo, GroupByTxn: true}).Apply(work.ops)
+			wo.DB.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Values[2*ki] = append(res.Values[2*ki], float64(vStats.Duration)/float64(time.Millisecond))
+			res.Values[2*ki+1] = append(res.Values[2*ki+1], float64(oStats.Duration)/float64(time.Millisecond))
+		}
+	}
+	return res, nil
+}
+
+// RunConcurrent reproduces §4.1's on-line maintenance claim (E9):
+// OLAP query latency while integration is in progress. Value-delta
+// integration applies the whole differential as one exclusive batch, so
+// a concurrent reader stalls for the entire window; Op-Delta
+// integration commits one small transaction per source transaction, so
+// readers interleave.
+//
+// The workload is 100 source update transactions of txn-size rows each;
+// both integrators consume the identical work while 2 readers loop an
+// OLAP scan. Reported values: integration window and the maximum
+// single-query latency a reader observed.
+func RunConcurrent(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	const txns = 200
+	perTxn := 100
+	res := &Result{
+		ID:       "e9-online",
+		Title:    "OLAP query latency during integration (§4.1 on-line maintenance)",
+		Unit:     "ms",
+		ColHeads: []string{"integration window", "max reader latency", "reader queries served"},
+		RowHeads: []string{"ValueDelta batch", "OpDelta per-txn"},
+		Notes: []string{
+			"value-delta integration is one exclusive batch: readers stall for the whole window",
+		},
+	}
+	res.Values = make([][]float64, 2)
+
+	// Capture 100 small update transactions once.
+	src, _, err := populatedSource(&cfg, "e9-src", cfg.TableRows, false)
+	if err != nil {
+		return nil, err
+	}
+	vc := &extract.TriggerCapture{DB: src, Table: "parts"}
+	if err := vc.Install(); err != nil {
+		src.Close()
+		return nil, err
+	}
+	log, err := opdelta.NewTableLog(src)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	oc := &opdelta.Capture{DB: src, Log: log}
+	for i := 0; i < txns; i++ {
+		first := int64((i * perTxn) % (cfg.TableRows - perTxn))
+		if _, err := oc.Exec(nil, workload.UpdateStmt(first, perTxn, fmt.Sprintf("m%d", i))); err != nil {
+			src.Close()
+			return nil, err
+		}
+	}
+	var sink extract.CollectSink
+	if _, err := vc.Extract(&sink); err != nil {
+		src.Close()
+		return nil, err
+	}
+	ops, err := log.Read(0)
+	src.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	type outcome struct {
+		window time.Duration
+		maxLat time.Duration
+		served int
+	}
+	runWith := func(name string, integrate func(w *warehouse.Warehouse) (warehouse.ApplyStats, error)) (*outcome, error) {
+		w, err := newReplicaWarehouse(&cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		defer w.DB.Close()
+		stop := make(chan struct{})
+		var mu sync.Mutex
+		var maxLat time.Duration
+		served := 0
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					q0 := time.Now()
+					if _, _, err := w.DB.Query(nil, workload.ScanStatement()); err != nil {
+						return
+					}
+					lat := time.Since(q0)
+					mu.Lock()
+					if lat > maxLat {
+						maxLat = lat
+					}
+					served++
+					mu.Unlock()
+				}
+			}()
+		}
+		// Let readers warm up so the engine's lock paths are hot.
+		time.Sleep(20 * time.Millisecond)
+		stats, err := integrate(w)
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			return nil, err
+		}
+		return &outcome{window: stats.Duration, maxLat: maxLat, served: served}, nil
+	}
+
+	vOut, err := runWith("e9-wv", func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+		return (&warehouse.ValueDeltaIntegrator{W: w}).Apply(sink.Deltas)
+	})
+	if err != nil {
+		return nil, err
+	}
+	oOut, err := runWith("e9-wo", func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+		return (&warehouse.OpDeltaIntegrator{W: w, GroupByTxn: true}).Apply(ops)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	res.Values[0] = []float64{ms(vOut.window), ms(vOut.maxLat), float64(vOut.served)}
+	res.Values[1] = []float64{ms(oOut.window), ms(oOut.maxLat), float64(oOut.served)}
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"opdelta/internal/extract"
+	"opdelta/internal/transport"
+	"opdelta/internal/workload"
+)
+
+// RunRemoteCapture reproduces §3.1.3's observation (E8): writing
+// trigger-captured deltas directly to an external system is "in the
+// order of ten to a hundred times more expensive" than a local capture
+// table, because every row pays connection/IPC/network cost. The remote
+// side is a second engine instance behind a simulated switched-LAN
+// link.
+func RunRemoteCapture(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	const k = 200 // rows per measured insert transaction
+	res := &Result{
+		ID:       "e8-remote",
+		Title:    "Trigger capture: local delta table vs remote database (§3.1.3)",
+		Unit:     "ms",
+		ColHeads: []string{"txn response time"},
+		RowHeads: []string{"Local capture", "Remote capture", "Ratio (x)"},
+		Notes: []string{
+			"paper: remote capture is 10-100x more expensive depending on networking and workload",
+		},
+	}
+
+	// Local capture.
+	srcLocal, _, err := populatedSource(&cfg, "e8-local", 2000, false)
+	if err != nil {
+		return nil, err
+	}
+	defer srcLocal.Close()
+	localCap := &extract.TriggerCapture{DB: srcLocal, Table: "parts"}
+	if err := localCap.Install(); err != nil {
+		return nil, err
+	}
+	var localSamples []time.Duration
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		first := int64(10_000 + rep*k)
+		d, err := runTxn(srcLocal, srcLocal.Exec, txnInsert, first, k, "")
+		if err != nil {
+			return nil, err
+		}
+		localSamples = append(localSamples, d)
+		if err := restore(srcLocal, txnInsert, first, k); err != nil {
+			return nil, err
+		}
+	}
+
+	// Remote capture: the trigger ships each row over a LAN link into a
+	// staging engine.
+	srcRemote, _, err := populatedSource(&cfg, "e8-remote-src", 2000, false)
+	if err != nil {
+		return nil, err
+	}
+	defer srcRemote.Close()
+	stagingDir, err := scratch(&cfg, "e8-staging")
+	if err != nil {
+		return nil, err
+	}
+	staging, _, err := newWarehouseDB(stagingDir)
+	if err != nil {
+		return nil, err
+	}
+	defer staging.Close()
+	if err := workload.CreateParts(staging); err != nil {
+		return nil, err
+	}
+	remoteSink, err := extract.EnsureDeltaTable(staging, "parts")
+	if err != nil {
+		return nil, err
+	}
+	link := &transport.Link{Latency: 300 * time.Microsecond, BandwidthBps: 10_000_000 / 8}
+	remoteCap := &extract.TriggerCapture{DB: srcRemote, Table: "parts",
+		Remote: &extract.RemoteTableSink{Remote: remoteSink, Link: link}}
+	if err := remoteCap.Install(); err != nil {
+		return nil, err
+	}
+	var remoteSamples []time.Duration
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		first := int64(10_000 + rep*k)
+		d, err := runTxn(srcRemote, srcRemote.Exec, txnInsert, first, k, "")
+		if err != nil {
+			return nil, err
+		}
+		remoteSamples = append(remoteSamples, d)
+		if err := restore(srcRemote, txnInsert, first, k); err != nil {
+			return nil, err
+		}
+	}
+
+	local := median(localSamples)
+	remote := median(remoteSamples)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	ratio := float64(remote) / float64(local)
+	res.Values = [][]float64{{ms(local)}, {ms(remote)}, {ratio}}
+	return res, nil
+}
+
+// RunVolume reproduces §4.1's volume claim (E10): the Op-Delta for a
+// delete or update is a fixed ~70-byte statement regardless of
+// transaction size, while the value delta grows linearly (update value
+// deltas carry both images); for inserts the two are comparable.
+func RunVolume(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "e10-volume",
+		Title: "Delta volume: value delta vs Op-Delta (§4.1)",
+		Unit:  "bytes",
+		RowHeads: []string{
+			"Insert (ValueDelta)", "Insert (OpDelta)",
+			"Delete (ValueDelta)", "Delete (OpDelta)",
+			"Update (ValueDelta)", "Update (OpDelta)",
+		},
+		Notes: []string{
+			"paper: op-delta size for delete/update is independent of transaction size (~70 bytes); value delta is proportional",
+		},
+	}
+	res.Values = make([][]float64, 6)
+	schema := workload.PartsSchema()
+	smallRows := cfg.TableRows
+	if smallRows > 20_000 {
+		smallRows = 20_000
+	}
+	for _, k := range cfg.TxnSizes {
+		if k > smallRows {
+			smallRows = k * 2
+		}
+	}
+	for _, k := range cfg.TxnSizes {
+		res.ColHeads = append(res.ColHeads, fmt.Sprintf("%d", k))
+		for ki, kind := range []txnKind{txnInsert, txnDelete, txnUpdate} {
+			small := cfg
+			small.TableRows = smallRows
+			work, err := captureSourceTxn(&small, fmt.Sprintf("e10-src-%d-%d", ki, k), kind, k)
+			if err != nil {
+				return nil, err
+			}
+			var valueBytes, opBytes float64
+			for _, d := range work.deltas {
+				valueBytes += float64(d.EncodedSize(schema))
+			}
+			for _, op := range work.ops {
+				opBytes += float64(op.EncodedSize(schema))
+			}
+			res.Values[2*ki] = append(res.Values[2*ki], valueBytes)
+			res.Values[2*ki+1] = append(res.Values[2*ki+1], opBytes)
+		}
+	}
+	return res, nil
+}

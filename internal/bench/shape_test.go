@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"testing"
+)
+
+// Shape tests assert the qualitative findings of each paper artifact at
+// a small scale: who wins, what grows, where the large ratios are.
+// Absolute numbers are not compared (different hardware era); see
+// EXPERIMENTS.md for the side-by-side.
+
+// smallCfg keeps shape tests fast.
+func smallCfg(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		WorkDir:   t.TempDir(),
+		TableRows: 20_000,
+		DeltaRows: []int{5_000, 10_000, 20_000},
+		TxnSizes:  []int{10, 100, 1000},
+		Repeats:   3,
+	}
+}
+
+func TestShapeTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunTable1(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	big := res.ColHeads[len(res.ColHeads)-1]
+	// Import is the most expensive technique (the paper's dominant
+	// observation) and Export the cheapest; asserted at the largest
+	// size where the gap is not noise-dominated.
+	if res.Get("Import", big) <= res.Get("DBMS Loader", big) {
+		t.Errorf("at %s: Import (%.3fs) should exceed Loader (%.3fs)",
+			big, res.Get("Import", big), res.Get("DBMS Loader", big))
+	}
+	for _, col := range res.ColHeads {
+		if res.Get("Export", col) >= res.Get("Import", col) {
+			t.Errorf("at %s: Export should be cheaper than Import", col)
+		}
+	}
+	// Costs grow with delta size.
+	small := res.ColHeads[0]
+	for _, row := range res.RowHeads {
+		if res.Get(row, big) <= res.Get(row, small) {
+			t.Errorf("%s does not grow with size: %.3fs -> %.3fs", row, res.Get(row, small), res.Get(row, big))
+		}
+	}
+}
+
+func TestShapeTables2And3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	t2, t3, err := RunTables23(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + t2.Render())
+	t.Log("\n" + t3.Render())
+	// Orderings are asserted at the largest delta, where they are not
+	// noise-dominated (the paper's gap also widens with size).
+	big := t2.ColHeads[len(t2.ColHeads)-1]
+	if t2.Get("Table output", big) <= t2.Get("File output", big) {
+		t.Errorf("at %s: table output (%.3f) should exceed file output (%.3f)",
+			big, t2.Get("Table output", big), t2.Get("File output", big))
+	}
+	for _, col := range t2.ColHeads {
+		if t2.Get("Table output + Export", col) <= t2.Get("Table output", col) {
+			t.Errorf("at %s: +Export must add cost", col)
+		}
+	}
+	// End-to-end, the file+Loader path beats table+Export+Import
+	// (Table 3's conclusion, by 1.6-3.5x in the paper).
+	a := t3.Get("Time Stamp file output + DBMS Loader", big)
+	b := t3.Get("Time Stamp table output + Export + Import", big)
+	if b <= a {
+		t.Errorf("at %s: export/import path (%.3f) should exceed file/loader path (%.3f)", big, b, a)
+	}
+}
+
+func TestShapeFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunFigure2(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	first, last := res.ColHeads[0], res.ColHeads[len(res.ColHeads)-1]
+	// Insert overhead is substantial at every size (paper: 80-100%).
+	for _, col := range res.ColHeads {
+		if res.Get("Insert", col) < 25 {
+			t.Errorf("insert trigger overhead at %s = %.1f%%, expected substantial (>25%%)",
+				col, res.Get("Insert", col))
+		}
+	}
+	// Update and delete overhead grows with transaction size (paper:
+	// per-row scan cost amortizes away, triggered inserts do not).
+	if res.Get("Update", last) <= res.Get("Update", first) {
+		t.Errorf("update overhead should grow: %.1f%% -> %.1f%%",
+			res.Get("Update", first), res.Get("Update", last))
+	}
+	if res.Get("Delete", last) <= res.Get("Delete", first) {
+		t.Errorf("delete overhead should grow: %.1f%% -> %.1f%%",
+			res.Get("Delete", first), res.Get("Delete", last))
+	}
+	// At the largest size, update overhead (two triggered image writes
+	// per row) is at least comparable to delete overhead (one). In the
+	// paper update overhead is strictly higher; here the update baseline
+	// also carries both WAL images, so the percentages converge — allow
+	// a tolerance rather than strict ordering.
+	if res.Get("Update", last) < res.Get("Delete", last)*0.5 {
+		t.Errorf("update overhead (%.1f%%) should be comparable to or exceed delete overhead (%.1f%%) at size %s",
+			res.Get("Update", last), res.Get("Delete", last), last)
+	}
+}
+
+func TestShapeFigure3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunFigure3(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	last := res.ColHeads[len(res.ColHeads)-1]
+	// Op-delta capture of big delete/update transactions is nearly free
+	// (paper: 2.48% / 3.68% average) — allow a loose bound.
+	if v := res.Get("Delete", last); v > 20 {
+		t.Errorf("delete op-delta overhead at %s = %.1f%%, expected small", last, v)
+	}
+	if v := res.Get("Update", last); v > 20 {
+		t.Errorf("update op-delta overhead at %s = %.1f%%, expected small", last, v)
+	}
+	// Insert capture pays per-record (paper: 66%), far above delete and
+	// update capture at scale.
+	if res.Get("Insert", last) <= res.Get("Delete", last) ||
+		res.Get("Insert", last) <= res.Get("Update", last) {
+		t.Errorf("insert op-delta overhead should dominate delete/update at %s: I=%.1f D=%.1f U=%.1f",
+			last, res.Get("Insert", last), res.Get("Delete", last), res.Get("Update", last))
+	}
+}
+
+func TestShapeTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunTable4(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	last := res.ColHeads[len(res.ColHeads)-1]
+	// Inserts: the DB log pays a per-record transactional insert, the
+	// file log a buffered append — file log wins at scale (paper: 81.8s
+	// vs 55.4s at 10k rows).
+	if res.Get("Insert (DBLog)", last) <= res.Get("Insert (FileLog)", last) {
+		t.Errorf("insert DBLog (%.2fms) should exceed FileLog (%.2fms) at size %s",
+			res.Get("Insert (DBLog)", last), res.Get("Insert (FileLog)", last), last)
+	}
+	// Deletes and updates: one op either way; response times are close
+	// (paper: within a few percent).
+	for _, kind := range []string{"Delete", "Update"} {
+		db := res.Get(kind+" (DBLog)", last)
+		file := res.Get(kind+" (FileLog)", last)
+		ratio := db / file
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s DBLog/FileLog ratio = %.2f, expected near 1", kind, ratio)
+		}
+	}
+}
+
+func TestShapeMaintWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunMaintWindow(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	last := res.ColHeads[len(res.ColHeads)-1]
+	// Delete and update windows are shorter with Op-Delta (paper: 31.8%
+	// and 69.7% shorter on average).
+	for _, kind := range []string{"Delete", "Update"} {
+		v := res.Get(kind+" (ValueDelta)", last)
+		o := res.Get(kind+" (OpDelta)", last)
+		if o >= v {
+			t.Errorf("%s: op-delta window (%.2fms) should beat value delta (%.2fms)", kind, o, v)
+		}
+	}
+	// Insert windows are comparable (paper: "the same"); allow 3x.
+	vi := res.Get("Insert (ValueDelta)", last)
+	oi := res.Get("Insert (OpDelta)", last)
+	if r := oi / vi; r > 3 || r < 1.0/3 {
+		t.Errorf("insert windows should be comparable: value=%.2fms op=%.2fms", vi, oi)
+	}
+	// Updates benefit more than deletes in absolute terms (the paper's
+	// 69.7% vs 31.8% asymmetry; in this substrate both relative savings
+	// hover near 50%, but the absolute update saving is about twice the
+	// delete saving because the value path runs two statements per row).
+	// Each cell is a single measurement, so compare savings summed over
+	// every transaction size, with headroom for scheduler noise.
+	var dSave, uSave float64
+	for _, col := range res.ColHeads {
+		dSave += res.Get("Delete (ValueDelta)", col) - res.Get("Delete (OpDelta)", col)
+		uSave += res.Get("Update (ValueDelta)", col) - res.Get("Update (OpDelta)", col)
+	}
+	if uSave < dSave*0.6 {
+		t.Errorf("total update saving (%.2fms) should be at least comparable to delete saving (%.2fms)", uSave, dSave)
+	}
+}
+
+func TestShapeConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunConcurrent(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	// The value-delta batch blocks readers for (roughly) its whole
+	// window; op-delta integration interleaves, so the worst reader
+	// latency is far smaller.
+	vMax := res.Get("ValueDelta batch", "max reader latency")
+	oMax := res.Get("OpDelta per-txn", "max reader latency")
+	if vMax < 3*oMax {
+		t.Errorf("value-delta max reader latency (%.1fms) should dwarf op-delta (%.1fms)", vMax, oMax)
+	}
+	// And the outage is comparable to the whole batch window.
+	vWin := res.Get("ValueDelta batch", "integration window")
+	if vMax < vWin/3 {
+		t.Errorf("readers should stall for most of the batch window: maxLat=%.1fms window=%.1fms", vMax, vWin)
+	}
+}
+
+func TestShapeRemoteCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunRemoteCapture(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	if ratio := res.Get("Ratio (x)", "txn response time"); ratio < 10 {
+		t.Errorf("remote capture ratio = %.1fx, paper reports 10-100x", ratio)
+	}
+}
+
+func TestShapeVolume(t *testing.T) {
+	res, err := RunVolume(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	first, last := res.ColHeads[0], res.ColHeads[len(res.ColHeads)-1]
+	// Delete/update op-delta volume is independent of txn size.
+	for _, kind := range []string{"Delete", "Update"} {
+		a := res.Get(kind+" (OpDelta)", first)
+		b := res.Get(kind+" (OpDelta)", last)
+		if b > a*1.5 {
+			t.Errorf("%s op-delta volume grew with txn size: %.0f -> %.0f bytes", kind, a, b)
+		}
+		if b > 200 {
+			t.Errorf("%s op-delta is %.0f bytes, expected a small statement", kind, b)
+		}
+	}
+	// Value-delta volume is proportional to txn size.
+	for _, kind := range []string{"Insert", "Delete", "Update"} {
+		a := res.Get(kind+" (ValueDelta)", first)
+		b := res.Get(kind+" (ValueDelta)", last)
+		if b < a*10 {
+			t.Errorf("%s value-delta volume should grow ~linearly: %.0f -> %.0f bytes", kind, a, b)
+		}
+	}
+	// Update value deltas (two images) are about twice delete value
+	// deltas (one image).
+	ud := res.Get("Update (ValueDelta)", last) / res.Get("Delete (ValueDelta)", last)
+	if ud < 1.5 || ud > 2.5 {
+		t.Errorf("update/delete value volume ratio = %.2f, expected ~2", ud)
+	}
+	// Insert op-delta is comparable to insert value delta (same info).
+	iv := res.Get("Insert (ValueDelta)", last)
+	io := res.Get("Insert (OpDelta)", last)
+	if r := io / iv; r < 0.5 || r > 3 {
+		t.Errorf("insert op/value volume ratio = %.2f, expected comparable", r)
+	}
+}
+
+func TestShapeTimestampIndexAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	cfg := smallCfg(t)
+	cfg.DeltaRows = []int{500, 20_000} // 2.5% and 100% of the table
+	res, err := RunTimestampIndexAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	small := res.ColHeads[0]
+	// For a small delta the index must win clearly (the paper's point).
+	if res.Get("Indexed", small) >= res.Get("Scan", small) {
+		t.Errorf("small delta: indexed (%.3fs) should beat scan (%.3fs)",
+			res.Get("Indexed", small), res.Get("Scan", small))
+	}
+	// At a full-table delta the index's relative advantage shrinks (both
+	// variants must touch every row). In this engine the index stays in
+	// memory, so unlike the paper's disk-resident B-trees it never turns
+	// into a loss; assert only that the gap narrows.
+	big := res.ColHeads[len(res.ColHeads)-1]
+	smallGap := res.Get("Scan", small) / res.Get("Indexed", small)
+	bigGap := res.Get("Scan", big) / res.Get("Indexed", big)
+	if bigGap >= smallGap {
+		t.Errorf("index advantage should shrink with delta size: %.1fx -> %.1fx", smallGap, bigGap)
+	}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"opdelta/internal/loadutil"
+	"opdelta/internal/workload"
+)
+
+// RunTable1 reproduces Table 1: "Database deltas dump and load
+// techniques" — Export time, Import time, and DBMS (ASCII) Loader time
+// across delta sizes. The paper sweeps 100 MB..1 GB; the default
+// configuration sweeps 1 MB..10 MB of 100-byte records and the shape —
+// Import slowest by a growing factor, Export cheapest — carries.
+func RunTable1(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:       "table1",
+		Title:    "Database deltas dump and load techniques (Table 1)",
+		Unit:     "s",
+		RowHeads: []string{"Export", "Import", "DBMS Loader"},
+		Notes: []string{
+			"paper: Export 3min..1h32m, Import 28min..9h59m, Loader 20min..2h58m over 100M..1000M",
+		},
+	}
+	res.Values = make([][]float64, 3)
+	for _, rows := range cfg.DeltaRows {
+		res.ColHeads = append(res.ColHeads, sizeLabel(rows))
+
+		src, _, err := populatedSource(&cfg, fmt.Sprintf("t1-src-%d", rows), rows, false)
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Dir(src.Dir())
+		expPath := filepath.Join(dir, "delta.exp")
+		tsvPath := filepath.Join(dir, "delta.tsv")
+
+		expDur, err := timeIt(func() error {
+			_, err := loadutil.Export(src, "parts", expPath)
+			return err
+		})
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		if _, err := loadutil.ASCIIDump(src, "parts", tsvPath); err != nil {
+			src.Close()
+			return nil, err
+		}
+		src.Close()
+
+		// Import into a fresh warehouse through the full engine path.
+		impDir, err := scratch(&cfg, fmt.Sprintf("t1-imp-%d", rows))
+		if err != nil {
+			return nil, err
+		}
+		impDB, _, err := newWarehouseDB(impDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.CreateParts(impDB); err != nil {
+			impDB.Close()
+			return nil, err
+		}
+		impDur, err := timeIt(func() error {
+			_, err := loadutil.Import(impDB, "parts", expPath, loadutil.ImportOptions{BatchRows: 500})
+			return err
+		})
+		impDB.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		// Direct block load into another fresh warehouse.
+		loadDir, err := scratch(&cfg, fmt.Sprintf("t1-load-%d", rows))
+		if err != nil {
+			return nil, err
+		}
+		loadDB, _, err := newWarehouseDB(loadDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.CreateParts(loadDB); err != nil {
+			loadDB.Close()
+			return nil, err
+		}
+		loadDur, err := timeIt(func() error {
+			_, err := loadutil.ASCIILoad(loadDB, "parts", tsvPath)
+			return err
+		})
+		loadDB.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		res.Values[0] = append(res.Values[0], expDur.Seconds())
+		res.Values[1] = append(res.Values[1], impDur.Seconds())
+		res.Values[2] = append(res.Values[2], loadDur.Seconds())
+	}
+	return res, nil
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"opdelta/internal/engine"
+	"opdelta/internal/extract"
+	"opdelta/internal/loadutil"
+	"opdelta/internal/workload"
+)
+
+// RunTables23 reproduces Tables 2 and 3 in one pass.
+//
+// Table 2, "Time stamp based delta extraction": the cost of extracting
+// a delta of D rows from a standing table via the timestamp method,
+// with three output shapes — to an ASCII file, to a staging table in
+// the same database, and to a staging table followed by Export.
+//
+// Table 3, "Total time taken to extract and load deltas": the two
+// end-to-end paths — file output + DBMS Loader at the warehouse versus
+// table output + Export + Import at the warehouse.
+func RunTables23(cfg Config) (*Result, *Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, nil, err
+	}
+	t2 := &Result{
+		ID:       "table2",
+		Title:    "Time stamp based delta extraction (Table 2)",
+		Unit:     "s",
+		RowHeads: []string{"File output", "Table output", "Table output + Export"},
+		Notes: []string{
+			"paper: 17min..1h36m (file), 29min..4h24m (table), 32min..5h56m (+export) over 100M..1G",
+		},
+	}
+	t2.Values = make([][]float64, 3)
+	t3 := &Result{
+		ID:    "table3",
+		Title: "Total time to extract and load deltas (Table 3)",
+		Unit:  "s",
+		RowHeads: []string{
+			"Time Stamp file output + DBMS Loader",
+			"Time Stamp table output + Export + Import",
+		},
+		Notes: []string{
+			"paper: 37min..4h34m (file path) vs 1h..15h55m (table path) over 100M..1G",
+		},
+	}
+	t3.Values = make([][]float64, 2)
+
+	for _, rows := range cfg.DeltaRows {
+		if rows > cfg.TableRows {
+			return nil, nil, fmt.Errorf("bench: delta of %d rows exceeds table of %d", rows, cfg.TableRows)
+		}
+		col := sizeLabel(rows)
+		t2.ColHeads = append(t2.ColHeads, col)
+		t3.ColHeads = append(t3.ColHeads, col)
+
+		src, clock, err := populatedSource(&cfg, fmt.Sprintf("t23-src-%d", rows), cfg.TableRows, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		cursor := clock.Now()
+		// Touch D rows so they qualify as delta (not part of the
+		// measured extraction).
+		if _, err := src.Exec(nil, workload.UpdateStmt(0, rows, "delta")); err != nil {
+			src.Close()
+			return nil, nil, err
+		}
+		dir := filepath.Dir(src.Dir())
+		tbl, err := src.Table("parts")
+		if err != nil {
+			src.Close()
+			return nil, nil, err
+		}
+
+		// (a) File output: complete qualifying records to an ASCII file.
+		filePath := filepath.Join(dir, "delta.tsv")
+		fileDur, err := timeIt(func() error {
+			return timestampToFile(src, cursor, filePath)
+		})
+		if err != nil {
+			src.Close()
+			return nil, nil, err
+		}
+
+		// (b) Table output: complete records into a staging table in
+		// the same database.
+		if _, err := src.CreateTable(engine.TableDef{Name: "parts_stage", Schema: tbl.Schema}); err != nil {
+			src.Close()
+			return nil, nil, err
+		}
+		tableDur, err := timeIt(func() error {
+			return timestampToTable(src, cursor, "parts_stage")
+		})
+		if err != nil {
+			src.Close()
+			return nil, nil, err
+		}
+
+		// (c) Table output + Export of the staging table.
+		expPath := filepath.Join(dir, "delta.exp")
+		expDur, err := timeIt(func() error {
+			_, err := loadutil.Export(src, "parts_stage", expPath)
+			return err
+		})
+		src.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+
+		t2.Values[0] = append(t2.Values[0], fileDur.Seconds())
+		t2.Values[1] = append(t2.Values[1], tableDur.Seconds())
+		t2.Values[2] = append(t2.Values[2], (tableDur + expDur).Seconds())
+
+		// Table 3 path A: ship the file, bulk-load at the warehouse.
+		whA, _, err := newWarehouseDB(mustScratch(&cfg, fmt.Sprintf("t23-whA-%d", rows)))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := workload.CreateParts(whA); err != nil {
+			whA.Close()
+			return nil, nil, err
+		}
+		loadDur, err := timeIt(func() error {
+			_, err := loadutil.ASCIILoad(whA, "parts", filePath)
+			return err
+		})
+		whA.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Table 3 path B: Import the exported staging table.
+		whB, _, err := newWarehouseDB(mustScratch(&cfg, fmt.Sprintf("t23-whB-%d", rows)))
+		if err != nil {
+			return nil, nil, err
+		}
+		tblSchema := tbl.Schema
+		if _, err := whB.CreateTable(engine.TableDef{Name: "parts_stage", Schema: tblSchema}); err != nil {
+			whB.Close()
+			return nil, nil, err
+		}
+		impDur, err := timeIt(func() error {
+			_, err := loadutil.Import(whB, "parts_stage", expPath, loadutil.ImportOptions{BatchRows: 500})
+			return err
+		})
+		whB.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+
+		t3.Values[0] = append(t3.Values[0], (fileDur + loadDur).Seconds())
+		t3.Values[1] = append(t3.Values[1], (tableDur + expDur + impDur).Seconds())
+	}
+	return t2, t3, nil
+}
+
+func mustScratch(cfg *Config, name string) string {
+	dir, err := scratch(cfg, name)
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// timestampToFile extracts qualifying complete records to an ASCII file
+// (the paper's timestamp "output to file").
+func timestampToFile(db *engine.DB, since time.Time, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	ex := &extract.TimestampExtractor{DB: db, Table: "parts", Since: since}
+	_, err = ex.Extract(extract.FuncSink(func(d extract.Delta) error {
+		return loadutil.WriteTupleASCII(bw, d.After)
+	}))
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// timestampToTable extracts qualifying complete records into a staging
+// table in the same database (the paper's "output to table").
+func timestampToTable(db *engine.DB, since time.Time, staging string) error {
+	ex := &extract.TimestampExtractor{DB: db, Table: "parts", Since: since}
+	tx := db.Begin()
+	rows := 0
+	_, err := ex.Extract(extract.FuncSink(func(d extract.Delta) error {
+		if err := db.InsertTuple(tx, staging, d.After.Clone()); err != nil {
+			return err
+		}
+		rows++
+		if rows%1000 == 0 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = db.Begin()
+		}
+		return nil
+	}))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,202 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Tuple is one row: a slice of values, positionally matching a schema.
+type Tuple []Value
+
+// Clone returns a deep-enough copy of the tuple (Bytes payloads are
+// copied so the clone is safe to retain across page reuse).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	for i, v := range t {
+		if v.typ == TypeBytes && !v.IsNull() {
+			out[i] = NewBytes(append([]byte(nil), v.b...))
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports deep equality between two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		a, b := t[i], o[i]
+		if a.IsNull() != b.IsNull() {
+			return false
+		}
+		if a.IsNull() {
+			if a.typ != b.typ {
+				return false
+			}
+			continue
+		}
+		if !Equal(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as a parenthesized value list.
+func (t Tuple) String() string {
+	out := "("
+	for i, v := range t {
+		if i > 0 {
+			out += ", "
+		}
+		out += v.String()
+	}
+	return out + ")"
+}
+
+// Binary tuple encoding
+//
+// A tuple is encoded against its schema as:
+//
+//	null bitmap: ceil(ncols/8) bytes, bit i set => column i is NULL
+//	per non-NULL column, by type:
+//	  INT64/TIME: 8-byte little-endian two's complement
+//	  FLOAT64:    8-byte little-endian IEEE-754 bits
+//	  BOOL:       1 byte
+//	  STRING/BYTES: uvarint length + payload
+//
+// The encoding is self-delimiting given the schema, which is how slotted
+// pages, WAL records, export files and snapshots all store rows.
+
+// EncodeTuple appends the binary encoding of t (validated against s)
+// to dst and returns the extended slice.
+func EncodeTuple(dst []byte, s *Schema, t Tuple) ([]byte, error) {
+	if err := s.Validate(t); err != nil {
+		return nil, err
+	}
+	nb := (s.NumColumns() + 7) / 8
+	bitmapAt := len(dst)
+	for i := 0; i < nb; i++ {
+		dst = append(dst, 0)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	for i, v := range t {
+		if v.IsNull() {
+			dst[bitmapAt+i/8] |= 1 << (i % 8)
+			continue
+		}
+		switch v.typ {
+		case TypeInt64, TypeTime:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.i))
+		case TypeFloat64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case TypeBool:
+			dst = append(dst, byte(v.i))
+		case TypeString:
+			n := binary.PutUvarint(scratch[:], uint64(len(v.s)))
+			dst = append(dst, scratch[:n]...)
+			dst = append(dst, v.s...)
+		case TypeBytes:
+			n := binary.PutUvarint(scratch[:], uint64(len(v.b)))
+			dst = append(dst, scratch[:n]...)
+			dst = append(dst, v.b...)
+		default:
+			return nil, fmt.Errorf("catalog: cannot encode type %s", v.typ)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeTuple decodes one tuple of schema s from data, which must
+// contain exactly one encoded tuple (trailing bytes are an error, since
+// every container stores tuples length-prefixed).
+func DecodeTuple(s *Schema, data []byte) (Tuple, error) {
+	t, n, err := DecodeTuplePrefix(s, data)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("catalog: %d trailing bytes after tuple", len(data)-n)
+	}
+	return t, nil
+}
+
+// DecodeTuplePrefix decodes one tuple from the front of data and returns
+// it along with the number of bytes consumed.
+func DecodeTuplePrefix(s *Schema, data []byte) (Tuple, int, error) {
+	ncols := s.NumColumns()
+	nb := (ncols + 7) / 8
+	if len(data) < nb {
+		return nil, 0, fmt.Errorf("catalog: tuple data truncated in null bitmap")
+	}
+	bitmap := data[:nb]
+	pos := nb
+	t := make(Tuple, ncols)
+	for i := 0; i < ncols; i++ {
+		c := s.Column(i)
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			t[i] = NewNull(c.Type)
+			continue
+		}
+		switch c.Type {
+		case TypeInt64:
+			if len(data)-pos < 8 {
+				return nil, 0, truncErr(c)
+			}
+			t[i] = NewInt(int64(binary.LittleEndian.Uint64(data[pos:])))
+			pos += 8
+		case TypeTime:
+			if len(data)-pos < 8 {
+				return nil, 0, truncErr(c)
+			}
+			t[i] = NewTime(time.Unix(0, int64(binary.LittleEndian.Uint64(data[pos:]))))
+			pos += 8
+		case TypeFloat64:
+			if len(data)-pos < 8 {
+				return nil, 0, truncErr(c)
+			}
+			t[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])))
+			pos += 8
+		case TypeBool:
+			if len(data)-pos < 1 {
+				return nil, 0, truncErr(c)
+			}
+			t[i] = NewBool(data[pos] != 0)
+			pos++
+		case TypeString, TypeBytes:
+			l, n := binary.Uvarint(data[pos:])
+			if n <= 0 || uint64(len(data)-pos-n) < l {
+				return nil, 0, truncErr(c)
+			}
+			pos += n
+			payload := data[pos : pos+int(l)]
+			if c.Type == TypeString {
+				t[i] = NewString(string(payload))
+			} else {
+				t[i] = NewBytes(append([]byte(nil), payload...))
+			}
+			pos += int(l)
+		default:
+			return nil, 0, fmt.Errorf("catalog: cannot decode type %s", c.Type)
+		}
+	}
+	return t, pos, nil
+}
+
+func truncErr(c Column) error {
+	return fmt.Errorf("catalog: tuple data truncated in column %q", c.Name)
+}
+
+// EncodedSize returns the number of bytes EncodeTuple would emit for t.
+func EncodedSize(s *Schema, t Tuple) (int, error) {
+	b, err := EncodeTuple(nil, s, t)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}

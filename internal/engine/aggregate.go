@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/sqlmini"
+)
+
+// queryAggregate evaluates an aggregate SELECT: scan the matching rows,
+// group by the optional grouping column, and fold each aggregate.
+// Groups are emitted in ascending group-key order for determinism.
+func (db *DB) queryAggregate(tx *Tx, sel *sqlmini.Select) (*catalog.Schema, []catalog.Tuple, error) {
+	t, err := db.Table(sel.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	groupIdx := -1
+	if sel.GroupBy != "" {
+		i, ok := t.Schema.ColIndex(sel.GroupBy)
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: no column %q in %s", sel.GroupBy, t.Name)
+		}
+		groupIdx = i
+	}
+	// Resolve aggregate inputs and output schema.
+	type aggCol struct {
+		spec sqlmini.AggSpec
+		col  int // -1 for COUNT(*)
+	}
+	aggs := make([]aggCol, len(sel.Aggregates))
+	var outCols []catalog.Column
+	if groupIdx >= 0 {
+		outCols = append(outCols, t.Schema.Column(groupIdx))
+	}
+	for i, spec := range sel.Aggregates {
+		ac := aggCol{spec: spec, col: -1}
+		var inType catalog.Type
+		if spec.Col != "" {
+			idx, ok := t.Schema.ColIndex(spec.Col)
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: no column %q in %s", spec.Col, t.Name)
+			}
+			ac.col = idx
+			inType = t.Schema.Column(idx).Type
+		}
+		outType, err := aggOutputType(spec.Fn, inType)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := strings.ToLower(spec.Fn.String())
+		if spec.Col != "" {
+			name += "_" + strings.ToLower(spec.Col)
+		}
+		outCols = append(outCols, catalog.Column{Name: name, Type: outType})
+		aggs[i] = ac
+	}
+	outSchema := catalog.NewSchema(outCols...)
+
+	// Scan and fold.
+	groups := map[string]*aggState{}
+	var keys []catalog.Value
+	baseSel := &sqlmini.Select{Table: sel.Table, Where: sel.Where}
+	if _, err := db.IterateSelect(tx, baseSel, func(row catalog.Tuple) error {
+		key := ""
+		var keyVal catalog.Value
+		if groupIdx >= 0 {
+			keyVal = row[groupIdx]
+			key = keyVal.String()
+			if keyVal.IsNull() {
+				key = "\x00null" // distinct from any rendered value
+			}
+		}
+		st := groups[key]
+		if st == nil {
+			st = newAggState(len(aggs))
+			groups[key] = st
+			if groupIdx >= 0 {
+				keys = append(keys, keyVal)
+			}
+		}
+		for i, ac := range aggs {
+			var v catalog.Value
+			if ac.col >= 0 {
+				v = row[ac.col]
+			}
+			if err := st.fold(i, ac.spec.Fn, ac.col >= 0, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	// An ungrouped aggregate over zero rows still yields one row.
+	if groupIdx < 0 && len(groups) == 0 {
+		groups[""] = newAggState(len(aggs))
+	}
+	if groupIdx >= 0 {
+		sort.Slice(keys, func(i, j int) bool {
+			c, err := catalog.Compare(keys[i], keys[j])
+			return err == nil && c < 0
+		})
+	} else {
+		keys = []catalog.Value{{}}
+	}
+
+	rows := make([]catalog.Tuple, 0, len(groups))
+	for _, keyVal := range keys {
+		key := ""
+		if groupIdx >= 0 {
+			key = keyVal.String()
+			if keyVal.IsNull() {
+				key = "\x00null"
+			}
+		}
+		st := groups[key]
+		var row catalog.Tuple
+		if groupIdx >= 0 {
+			row = append(row, keyVal)
+		}
+		for i, ac := range aggs {
+			v, err := st.result(i, ac.spec.Fn, outSchema.Column(len(row)).Type)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	if sel.Limit > 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	return outSchema, rows, nil
+}
+
+// aggOutputType decides the result column type of an aggregate.
+func aggOutputType(fn sqlmini.AggFn, in catalog.Type) (catalog.Type, error) {
+	switch fn {
+	case sqlmini.AggCount:
+		return catalog.TypeInt64, nil
+	case sqlmini.AggAvg:
+		if in != catalog.TypeInt64 && in != catalog.TypeFloat64 {
+			return 0, fmt.Errorf("engine: AVG requires a numeric column, got %s", in)
+		}
+		return catalog.TypeFloat64, nil
+	case sqlmini.AggSum:
+		if in != catalog.TypeInt64 && in != catalog.TypeFloat64 {
+			return 0, fmt.Errorf("engine: SUM requires a numeric column, got %s", in)
+		}
+		return in, nil
+	case sqlmini.AggMin, sqlmini.AggMax:
+		if in == catalog.TypeInvalid {
+			return 0, fmt.Errorf("engine: %s requires a column", fn)
+		}
+		return in, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown aggregate %v", fn)
+	}
+}
+
+// aggState folds one group's aggregates.
+type aggState struct {
+	count  []int64
+	sumI   []int64
+	sumF   []float64
+	minmax []catalog.Value
+	seen   []bool
+}
+
+func newAggState(n int) *aggState {
+	return &aggState{
+		count:  make([]int64, n),
+		sumI:   make([]int64, n),
+		sumF:   make([]float64, n),
+		minmax: make([]catalog.Value, n),
+		seen:   make([]bool, n),
+	}
+}
+
+func (st *aggState) fold(i int, fn sqlmini.AggFn, hasCol bool, v catalog.Value) error {
+	if fn == sqlmini.AggCount {
+		if !hasCol || !v.IsNull() {
+			st.count[i]++
+		}
+		return nil
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULL inputs
+	}
+	st.count[i]++
+	switch fn {
+	case sqlmini.AggSum, sqlmini.AggAvg:
+		switch v.Type() {
+		case catalog.TypeInt64:
+			st.sumI[i] += v.Int()
+			st.sumF[i] += float64(v.Int())
+		case catalog.TypeFloat64:
+			st.sumF[i] += v.Float()
+		default:
+			return fmt.Errorf("engine: %s over non-numeric value", fn)
+		}
+	case sqlmini.AggMin, sqlmini.AggMax:
+		if !st.seen[i] {
+			st.minmax[i] = v
+			st.seen[i] = true
+			return nil
+		}
+		c, err := catalog.Compare(v, st.minmax[i])
+		if err != nil {
+			return err
+		}
+		if (fn == sqlmini.AggMin && c < 0) || (fn == sqlmini.AggMax && c > 0) {
+			st.minmax[i] = v
+		}
+	}
+	return nil
+}
+
+func (st *aggState) result(i int, fn sqlmini.AggFn, outType catalog.Type) (catalog.Value, error) {
+	switch fn {
+	case sqlmini.AggCount:
+		return catalog.NewInt(st.count[i]), nil
+	case sqlmini.AggSum:
+		if st.count[i] == 0 {
+			return catalog.NewNull(outType), nil
+		}
+		if outType == catalog.TypeInt64 {
+			return catalog.NewInt(st.sumI[i]), nil
+		}
+		return catalog.NewFloat(st.sumF[i]), nil
+	case sqlmini.AggAvg:
+		if st.count[i] == 0 {
+			return catalog.NewNull(catalog.TypeFloat64), nil
+		}
+		return catalog.NewFloat(st.sumF[i] / float64(st.count[i])), nil
+	case sqlmini.AggMin, sqlmini.AggMax:
+		if !st.seen[i] {
+			return catalog.NewNull(outType), nil
+		}
+		return st.minmax[i], nil
+	default:
+		return catalog.Value{}, fmt.Errorf("engine: unknown aggregate %v", fn)
+	}
+}
+
+// orderAndLimit applies ORDER BY / LIMIT to materialized plain-select
+// rows. The ordering column must exist in the result schema.
+func orderAndLimit(sel *sqlmini.Select, schema *catalog.Schema, rows []catalog.Tuple) ([]catalog.Tuple, error) {
+	if sel.OrderBy != "" {
+		idx, ok := schema.ColIndex(sel.OrderBy)
+		if !ok {
+			return nil, fmt.Errorf("engine: ORDER BY column %q not in result", sel.OrderBy)
+		}
+		var sortErr error
+		sort.SliceStable(rows, func(i, j int) bool {
+			c, err := catalog.Compare(rows[i][idx], rows[j][idx])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if sel.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+	if sel.Limit > 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	return rows, nil
+}

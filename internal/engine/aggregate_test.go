@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/sqlmini"
+)
+
+func aggFixture(t *testing.T) *DB {
+	t.Helper()
+	db := openTestDB(t, Options{})
+	if _, err := db.Exec(nil, `CREATE TABLE sales (
+		id BIGINT NOT NULL, region VARCHAR, amount BIGINT, weight DOUBLE
+	) PRIMARY KEY (id)`); err != nil {
+		t.Fatal(err)
+	}
+	rows := []string{
+		`(1, 'east', 10, 1.5)`,
+		`(2, 'east', 20, 2.5)`,
+		`(3, 'west', 30, 3.5)`,
+		`(4, 'west', 40, 0.5)`,
+		`(5, 'west', NULL, 1.0)`, // NULL amount: skipped by SUM/AVG/MIN/MAX, counted by COUNT(*)
+		`(6, NULL, 60, 2.0)`,     // NULL region groups separately
+	}
+	for _, r := range rows {
+		if _, err := db.Exec(nil, `INSERT INTO sales VALUES `+r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAggregateUngrouped(t *testing.T) {
+	db := aggFixture(t)
+	schema, rows, err := db.Query(nil, `SELECT COUNT(*), COUNT(amount), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r[0].Int() != 6 {
+		t.Errorf("COUNT(*) = %v", r[0])
+	}
+	if r[1].Int() != 5 {
+		t.Errorf("COUNT(amount) = %v (NULL must not count)", r[1])
+	}
+	if r[2].Int() != 160 {
+		t.Errorf("SUM = %v", r[2])
+	}
+	if r[3].Float() != 32 {
+		t.Errorf("AVG = %v", r[3])
+	}
+	if r[4].Int() != 10 || r[5].Int() != 60 {
+		t.Errorf("MIN/MAX = %v/%v", r[4], r[5])
+	}
+	// Output schema names are derived.
+	if n := schema.Column(2).Name; n != "sum_amount" {
+		t.Errorf("sum column name = %q", n)
+	}
+}
+
+func TestAggregateGrouped(t *testing.T) {
+	db := aggFixture(t)
+	_, rows, err := db.Query(nil, `SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d (east, west, NULL)", len(rows))
+	}
+	// Groups sorted by key; NULL sorts first.
+	if !rows[0][0].IsNull() || rows[0][1].Int() != 1 || rows[0][2].Int() != 60 {
+		t.Errorf("NULL group = %v", rows[0])
+	}
+	if rows[1][0].Str() != "east" || rows[1][1].Int() != 2 || rows[1][2].Int() != 30 {
+		t.Errorf("east group = %v", rows[1])
+	}
+	if rows[2][0].Str() != "west" || rows[2][1].Int() != 3 || rows[2][2].Int() != 70 {
+		t.Errorf("west group = %v (NULL amount skipped in SUM)", rows[2])
+	}
+}
+
+func TestAggregateWithWhereAndFloats(t *testing.T) {
+	db := aggFixture(t)
+	_, rows, err := db.Query(nil, `SELECT SUM(weight), AVG(weight) FROM sales WHERE region = 'west'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows[0][0].Float(); got != 5.0 {
+		t.Errorf("SUM(weight) = %v", got)
+	}
+	if got := rows[0][1].Float(); got != 5.0/3 {
+		t.Errorf("AVG(weight) = %v", got)
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	db := aggFixture(t)
+	_, rows, err := db.Query(nil, `SELECT COUNT(*), SUM(amount), MIN(amount) FROM sales WHERE id > 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("an ungrouped aggregate over zero rows yields one row, got %d", len(rows))
+	}
+	if rows[0][0].Int() != 0 {
+		t.Errorf("COUNT = %v", rows[0][0])
+	}
+	if !rows[0][1].IsNull() || !rows[0][2].IsNull() {
+		t.Errorf("SUM/MIN over empty input must be NULL: %v", rows[0])
+	}
+	// Grouped aggregates over zero rows yield zero groups.
+	_, rows, err = db.Query(nil, `SELECT region, COUNT(*) FROM sales WHERE id > 1000 GROUP BY region`)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("grouped empty: %d rows, %v", len(rows), err)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := aggFixture(t)
+	bad := []string{
+		`SELECT SUM(region) FROM sales`,                  // non-numeric SUM
+		`SELECT AVG(region) FROM sales`,                  // non-numeric AVG
+		`SELECT SUM(ghost) FROM sales`,                   // unknown column
+		`SELECT region, COUNT(*) FROM sales`,             // bare column without GROUP BY
+		`SELECT id, COUNT(*) FROM sales GROUP BY region`, // column not the group key
+		`SELECT region FROM sales GROUP BY region`,       // GROUP BY without aggregates
+		`SELECT SUM(*) FROM sales`,                       // * only valid for COUNT
+		`SELECT COUNT(*) FROM sales ORDER BY region`,     // ORDER BY on aggregates
+	}
+	for _, q := range bad {
+		if _, _, err := db.Query(nil, q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := aggFixture(t)
+	_, rows, err := db.Query(nil, `SELECT id, amount FROM sales WHERE amount IS NOT NULL ORDER BY amount DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].Int() != 6 || rows[1][0].Int() != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Ascending default.
+	_, rows, _ = db.Query(nil, `SELECT id FROM sales ORDER BY id`)
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].Int() <= rows[i-1][0].Int() {
+			t.Fatal("not ascending")
+		}
+	}
+	// LIMIT without ORDER BY stops the scan early.
+	_, rows, err = db.Query(nil, `SELECT id FROM sales LIMIT 3`)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("limit: %d, %v", len(rows), err)
+	}
+	// ORDER BY a column not in the projection fails.
+	if _, _, err := db.Query(nil, `SELECT id FROM sales ORDER BY amount`); err == nil {
+		t.Fatal("ORDER BY outside projection should fail")
+	}
+	// LIMIT larger than the result is harmless.
+	_, rows, _ = db.Query(nil, `SELECT id FROM sales LIMIT 100`)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestAggregateSelectStringRoundtrip(t *testing.T) {
+	srcs := []string{
+		`SELECT COUNT(*) FROM sales`,
+		`SELECT region, COUNT(*), SUM(amount) FROM sales WHERE id > 2 GROUP BY region`,
+		`SELECT id, amount FROM sales ORDER BY amount DESC LIMIT 5`,
+		`SELECT AVG(weight), MIN(weight), MAX(weight) FROM sales LIMIT 1`,
+	}
+	for _, src := range srcs {
+		s1, err := sqlmini.Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := s1.String()
+		s2, err := sqlmini.Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", printed, err)
+		}
+		if s2.String() != printed {
+			t.Errorf("not a fixpoint: %q vs %q", printed, s2.String())
+		}
+	}
+}
+
+func TestIterateSelectRejectsAggregates(t *testing.T) {
+	db := aggFixture(t)
+	sel, _ := sqlmini.Parse(`SELECT COUNT(*) FROM sales`)
+	_, err := db.IterateSelect(nil, sel.(*sqlmini.Select), func(catalog.Tuple) error { return nil })
+	if err == nil {
+		t.Fatal("streaming aggregates should be rejected")
+	}
+}
+
+func TestLimitOnPKRangePath(t *testing.T) {
+	db := openTestDB(t, Options{})
+	createParts(t, db)
+	tx := db.Begin()
+	for i := 0; i < 100; i++ {
+		db.Exec(tx, fmt.Sprintf(`INSERT INTO parts (part_id) VALUES (%d)`, i))
+	}
+	tx.Commit()
+	_, rows, err := db.Query(nil, `SELECT part_id FROM parts WHERE part_id BETWEEN 10 AND 90 LIMIT 5`)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("rows = %d, %v", len(rows), err)
+	}
+	if rows[0][0].Int() != 10 {
+		t.Fatalf("first = %v", rows[0])
+	}
+}

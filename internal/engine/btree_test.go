@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/storage"
+)
+
+func TestBtreeInsertGetDelete(t *testing.T) {
+	b := newBtree()
+	for i := 0; i < 1000; i++ {
+		if err := b.Insert(catalog.NewInt(int64(i*7%1000)), storage.RID{Page: storage.PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := b.Insert(catalog.NewInt(3), storage.RID{}); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	rid, ok := b.Get(catalog.NewInt(21))
+	if !ok || rid.Page != storage.PageID(3) { // 3*7%1000 == 21
+		t.Fatalf("Get(21) = %v, %v", rid, ok)
+	}
+	if _, ok := b.Get(catalog.NewInt(5000)); ok {
+		t.Fatal("missing key found")
+	}
+	if !b.Delete(catalog.NewInt(21)) {
+		t.Fatal("delete failed")
+	}
+	if b.Delete(catalog.NewInt(21)) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := b.Get(catalog.NewInt(21)); ok {
+		t.Fatal("deleted key still found")
+	}
+	if b.Len() != 999 {
+		t.Fatalf("Len after delete = %d", b.Len())
+	}
+}
+
+func TestBtreeRange(t *testing.T) {
+	b := newBtree()
+	for i := 0; i < 500; i++ {
+		b.Insert(catalog.NewInt(int64(i*2)), storage.RID{Page: storage.PageID(i)}) // even keys 0..998
+	}
+	lo, hi := catalog.NewInt(100), catalog.NewInt(110)
+	var keys []int64
+	b.Range(&lo, &hi, func(k catalog.Value, _ storage.RID) bool {
+		keys = append(keys, k.Int())
+		return true
+	})
+	want := []int64{100, 102, 104, 106, 108, 110}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("range = %v, want %v", keys, want)
+	}
+	// Open-ended ranges.
+	count := 0
+	b.Range(nil, nil, func(catalog.Value, storage.RID) bool { count++; return true })
+	if count != 500 {
+		t.Fatalf("full range = %d", count)
+	}
+	lo2 := catalog.NewInt(990)
+	keys = nil
+	b.Range(&lo2, nil, func(k catalog.Value, _ storage.RID) bool {
+		keys = append(keys, k.Int())
+		return true
+	})
+	if fmt.Sprint(keys) != fmt.Sprint([]int64{990, 992, 994, 996, 998}) {
+		t.Fatalf("tail range = %v", keys)
+	}
+	// Early stop.
+	count = 0
+	b.Range(nil, nil, func(catalog.Value, storage.RID) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop = %d", count)
+	}
+}
+
+func TestBtreeStringKeys(t *testing.T) {
+	b := newBtree()
+	words := []string{"pear", "apple", "fig", "mango", "banana", "cherry"}
+	for i, w := range words {
+		if err := b.Insert(catalog.NewString(w), storage.RID{Page: storage.PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi := catalog.NewString("banana"), catalog.NewString("mango")
+	var got []string
+	b.Range(&lo, &hi, func(k catalog.Value, _ storage.RID) bool {
+		got = append(got, k.Str())
+		return true
+	})
+	want := []string{"banana", "cherry", "fig", "mango"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestQuickBtreeModel checks the tree against a map + sorted-keys model
+// under random churn.
+func TestQuickBtreeModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := newBtree()
+		model := map[int64]storage.RID{}
+		for step := 0; step < 2000; step++ {
+			k := r.Int63n(500)
+			switch r.Intn(3) {
+			case 0, 1:
+				rid := storage.RID{Page: storage.PageID(r.Uint32()), Slot: uint16(r.Uint32())}
+				err := b.Insert(catalog.NewInt(k), rid)
+				if _, dup := model[k]; dup {
+					if err == nil {
+						return false // duplicate accepted
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[k] = rid
+				}
+			case 2:
+				deleted := b.Delete(catalog.NewInt(k))
+				if _, had := model[k]; had != deleted {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if b.Len() != len(model) {
+			return false
+		}
+		// Point lookups agree.
+		for k, rid := range model {
+			got, ok := b.Get(catalog.NewInt(k))
+			if !ok || got != rid {
+				return false
+			}
+		}
+		// Full range yields sorted keys matching the model.
+		var keys []int64
+		b.Range(nil, nil, func(kv catalog.Value, rid storage.RID) bool {
+			keys = append(keys, kv.Int())
+			return model[kv.Int()] == rid
+		})
+		if len(keys) != len(model) || !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			return false
+		}
+		// Random subranges agree with the model.
+		for trial := 0; trial < 5; trial++ {
+			lo, hi := r.Int63n(500), r.Int63n(500)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			wantN := 0
+			for k := range model {
+				if k >= lo && k <= hi {
+					wantN++
+				}
+			}
+			gotN := 0
+			loV, hiV := catalog.NewInt(lo), catalog.NewInt(hi)
+			b.Range(&loV, &hiV, func(catalog.Value, storage.RID) bool { gotN++; return true })
+			if gotN != wantN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKRangeStatements(t *testing.T) {
+	db := openTestDB(t, Options{})
+	createParts(t, db)
+	tx := db.Begin()
+	for i := 0; i < 300; i++ {
+		if _, err := db.Exec(tx, fmt.Sprintf(`INSERT INTO parts (part_id, qty) VALUES (%d, %d)`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"part_id = 5", 1},
+		{"part_id BETWEEN 10 AND 19", 10},
+		{"part_id >= 295", 5},
+		{"part_id > 295", 4},
+		{"part_id < 3", 3},
+		{"part_id <= 3", 4},
+		{"10 <= part_id AND part_id < 12", 2},
+		{"100 > part_id AND part_id >= 98", 2},
+		{"part_id BETWEEN 250 AND 200", 0}, // empty range
+		{"qty = 5", 1},                     // non-PK predicate still works (scan)
+		{"part_id = 5 OR part_id = 6", 2},  // OR falls back to scan
+	}
+	for _, c := range cases {
+		if n := mustCount(t, db, "parts", c.where); n != c.want {
+			t.Errorf("WHERE %s -> %d rows, want %d", c.where, n, c.want)
+		}
+	}
+	// Range UPDATE and DELETE behave identically to scans.
+	res, err := db.Exec(nil, `UPDATE parts SET qty = 0 WHERE part_id BETWEEN 20 AND 29`)
+	if err != nil || res.RowsAffected != 10 {
+		t.Fatalf("range update: %v, %v", res, err)
+	}
+	res, err = db.Exec(nil, `DELETE FROM parts WHERE part_id >= 290`)
+	if err != nil || res.RowsAffected != 10 {
+		t.Fatalf("range delete: %v, %v", res, err)
+	}
+	if n := mustCount(t, db, "parts", ""); n != 290 {
+		t.Fatalf("rows = %d", n)
+	}
+}
+
+// TestPKRangeFasterThanScan guards the plan split: a narrow PK range on
+// a large table must touch far fewer pages than a scan-based predicate.
+func TestPKRangeFasterThanScan(t *testing.T) {
+	db := openTestDB(t, Options{PoolPages: 8})
+	createParts(t, db)
+	tx := db.Begin()
+	for i := 0; i < 5000; i++ {
+		if _, err := db.Exec(tx, fmt.Sprintf(`INSERT INTO parts (part_id, qty) VALUES (%d, %d)`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	tbl, _ := db.Table("parts")
+
+	before := tbl.Heap().Pool().Stats()
+	if n := mustCount(t, db, "parts", "part_id BETWEEN 100 AND 110"); n != 11 {
+		t.Fatalf("range count = %d", n)
+	}
+	mid := tbl.Heap().Pool().Stats()
+	if n := mustCount(t, db, "parts", "qty BETWEEN 100 AND 110"); n != 11 {
+		t.Fatalf("scan count = %d", n)
+	}
+	after := tbl.Heap().Pool().Stats()
+
+	rangeMisses := mid.Misses - before.Misses
+	scanMisses := after.Misses - mid.Misses
+	if rangeMisses*3 >= scanMisses {
+		t.Fatalf("PK range read %d pages from disk vs scan %d — index path not used?", rangeMisses, scanMisses)
+	}
+}

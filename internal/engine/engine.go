@@ -1,0 +1,518 @@
+// Package engine is the relational engine the reproduction treats as
+// its "commercial DBMS" substrate: slotted-page heap tables behind
+// buffer pools, a write-ahead log with optional archive mode, strict
+// table-granularity two-phase locking, row-level triggers, an
+// engine-maintained last-modified timestamp column, and a primary-key
+// hash index. Every delta-extraction method in the paper is built
+// against this engine.
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/storage"
+	"opdelta/internal/txn"
+	"opdelta/internal/wal"
+)
+
+// Options configures an engine instance.
+type Options struct {
+	// PoolPages is the buffer-pool capacity per table, in pages.
+	// Default 256 (2 MiB per table).
+	PoolPages int
+	// WALSync is the commit durability policy. Default wal.SyncFlush.
+	WALSync wal.SyncPolicy
+	// WALSegmentSize overrides the WAL segment rotation threshold.
+	WALSegmentSize int64
+	// Archive enables WAL archive mode: closed segments accumulate in
+	// <dir>/archive and are the source for log-based delta extraction.
+	Archive bool
+	// Now supplies timestamps for engine-maintained timestamp columns.
+	// Tests inject logical clocks. Default time.Now.
+	Now func() time.Time
+	// LockTimeout bounds lock waits. Default 10s.
+	LockTimeout time.Duration
+}
+
+func (o *Options) fill() {
+	if o.PoolPages <= 0 {
+		o.PoolPages = 256
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// DB is one engine instance rooted at a directory.
+type DB struct {
+	dir  string
+	opts Options
+
+	wal   *wal.Writer
+	locks *txn.LockManager
+	txns  *txn.Manager
+
+	mu     sync.RWMutex // guards tables map and table metadata
+	tables map[string]*Table
+
+	activeMu sync.Mutex
+	active   int // live transactions, for checkpoint quiescence
+
+	closed bool
+}
+
+// Table is one heap table plus its metadata and runtime structures.
+type Table struct {
+	Name   string
+	Schema *catalog.Schema
+	PKCol  int // index of primary key column, -1 if none
+	TSCol  int // index of engine-maintained timestamp column, -1 if none
+
+	heap *storage.HeapFile
+
+	idxMu sync.RWMutex
+	pk    *btree      // unique ordered index on the PK column; nil when PKCol < 0
+	sec   []*secIndex // non-unique secondary indexes
+
+	trigMu   sync.RWMutex
+	triggers []*Trigger
+}
+
+// tableMeta is the persisted form of a table definition.
+type tableMeta struct {
+	Name    string    `json:"name"`
+	Columns []colMeta `json:"columns"`
+	PK      string    `json:"primary_key,omitempty"`
+	TS      string    `json:"timestamp_column,omitempty"`
+	Indexes []string  `json:"indexes,omitempty"` // secondary index columns
+}
+
+type colMeta struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	NotNull bool   `json:"not_null,omitempty"`
+}
+
+// Open opens (creating if necessary) the database in dir, runs crash
+// recovery from the WAL, and rebuilds in-memory indexes.
+func Open(dir string, opts Options) (*DB, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	wopts := wal.Options{Sync: opts.WALSync, SegmentSize: opts.WALSegmentSize}
+	if opts.Archive {
+		wopts.ArchiveDir = filepath.Join(dir, "archive")
+	}
+	w, err := wal.Open(filepath.Join(dir, "wal"), wopts)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		dir:    dir,
+		opts:   opts,
+		wal:    w,
+		locks:  txn.NewLockManager(opts.LockTimeout),
+		tables: make(map[string]*Table),
+	}
+	if err := db.loadCatalog(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	maxTxn, err := db.recover()
+	if err != nil {
+		db.closeTables()
+		w.Close()
+		return nil, err
+	}
+	db.txns = txn.NewManager(txn.ID(maxTxn))
+	for _, t := range db.tables {
+		if err := t.rebuildIndex(); err != nil {
+			db.closeTables()
+			w.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Dir returns the database root directory.
+func (db *DB) Dir() string { return db.dir }
+
+// WALDir returns the live WAL directory.
+func (db *DB) WALDir() string { return filepath.Join(db.dir, "wal") }
+
+// ArchiveDir returns the WAL archive directory (meaningful when the
+// Archive option is set).
+func (db *DB) ArchiveDir() string { return filepath.Join(db.dir, "archive") }
+
+// WAL exposes the log writer (extraction utilities rotate/inspect it).
+func (db *DB) WAL() *wal.Writer { return db.wal }
+
+// Now returns the engine clock's current time.
+func (db *DB) Now() time.Time { return db.opts.Now() }
+
+func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+func (db *DB) loadCatalog() error {
+	data, err := os.ReadFile(db.catalogPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var metas []tableMeta
+	if err := json.Unmarshal(data, &metas); err != nil {
+		return fmt.Errorf("engine: corrupt catalog: %w", err)
+	}
+	for _, m := range metas {
+		t, err := db.openTable(m)
+		if err != nil {
+			return err
+		}
+		db.tables[strings.ToLower(m.Name)] = t
+	}
+	return nil
+}
+
+func (db *DB) saveCatalogLocked() error {
+	metas := make([]tableMeta, 0, len(db.tables))
+	for _, t := range db.tables {
+		m := tableMeta{Name: t.Name}
+		for _, c := range t.Schema.Columns() {
+			m.Columns = append(m.Columns, colMeta{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull})
+		}
+		if t.PKCol >= 0 {
+			m.PK = t.Schema.Column(t.PKCol).Name
+		}
+		if t.TSCol >= 0 {
+			m.TS = t.Schema.Column(t.TSCol).Name
+		}
+		m.Indexes = t.SecondaryIndexes()
+		metas = append(metas, m)
+	}
+	data, err := json.MarshalIndent(metas, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := db.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.catalogPath())
+}
+
+func (db *DB) openTable(m tableMeta) (*Table, error) {
+	cols := make([]catalog.Column, 0, len(m.Columns))
+	for _, c := range m.Columns {
+		typ, err := catalog.TypeFromName(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, catalog.Column{Name: c.Name, Type: typ, NotNull: c.NotNull})
+	}
+	schema := catalog.NewSchema(cols...)
+	t := &Table{Name: m.Name, Schema: schema, PKCol: -1, TSCol: -1}
+	if m.PK != "" {
+		i, ok := schema.ColIndex(m.PK)
+		if !ok {
+			return nil, fmt.Errorf("engine: table %q: primary key column %q missing", m.Name, m.PK)
+		}
+		t.PKCol = i
+		t.pk = newBtree()
+	}
+	if m.TS != "" {
+		i, ok := schema.ColIndex(m.TS)
+		if !ok {
+			return nil, fmt.Errorf("engine: table %q: timestamp column %q missing", m.Name, m.TS)
+		}
+		if schema.Column(i).Type != catalog.TypeTime {
+			return nil, fmt.Errorf("engine: table %q: timestamp column %q is %s, want TIMESTAMP",
+				m.Name, m.TS, schema.Column(i).Type)
+		}
+		t.TSCol = i
+	}
+	for _, idxCol := range m.Indexes {
+		i, ok := schema.ColIndex(idxCol)
+		if !ok {
+			return nil, fmt.Errorf("engine: table %q: indexed column %q missing", m.Name, idxCol)
+		}
+		t.sec = append(t.sec, &secIndex{col: i, tree: newBtree()})
+	}
+	heap, err := storage.OpenHeapFile(filepath.Join(db.dir, strings.ToLower(m.Name)+".heap"), db.opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	// Enforce write-ahead ordering: the WAL reaches the OS before any
+	// dirty page does.
+	heap.Pool().SetBeforePageWrite(db.wal.Flush)
+	t.heap = heap
+	return t, nil
+}
+
+// TableDef describes a table to create programmatically (the SQL path
+// goes through CREATE TABLE).
+type TableDef struct {
+	Name         string
+	Schema       *catalog.Schema
+	PrimaryKey   string // optional column name
+	TimestampCol string // optional TIMESTAMP column maintained by the engine
+}
+
+// CreateTable creates a new empty table.
+func (db *DB) CreateTable(def TableDef) (*Table, error) {
+	if def.Name == "" || def.Schema == nil || def.Schema.NumColumns() == 0 {
+		return nil, fmt.Errorf("engine: invalid table definition")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(def.Name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", def.Name)
+	}
+	m := tableMeta{Name: def.Name, PK: def.PrimaryKey, TS: def.TimestampCol}
+	for _, c := range def.Schema.Columns() {
+		m.Columns = append(m.Columns, colMeta{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull})
+	}
+	t, err := db.openTable(m)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[key] = t
+	if err := db.saveCatalogLocked(); err != nil {
+		delete(db.tables, key)
+		t.heap.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns the table names in the catalog.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// DropTable removes a table and its heap file. The table must not be in
+// use by active transactions; callers coordinate that.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	t, ok := db.tables[key]
+	if !ok {
+		return fmt.Errorf("engine: no table %q", name)
+	}
+	if err := t.heap.Close(); err != nil {
+		return err
+	}
+	delete(db.tables, key)
+	if err := os.Remove(filepath.Join(db.dir, key+".heap")); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return db.saveCatalogLocked()
+}
+
+// Checkpoint flushes all dirty pages and writes a checkpoint record,
+// allowing earlier WAL segments to be recycled. It requires quiescence:
+// an error is returned when transactions are active.
+func (db *DB) Checkpoint() error {
+	db.activeMu.Lock()
+	n := db.active
+	db.activeMu.Unlock()
+	if n > 0 {
+		return fmt.Errorf("engine: checkpoint requires quiescence, %d transactions active", n)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		if err := t.heap.Flush(); err != nil {
+			return err
+		}
+	}
+	if _, err := db.wal.Append(&wal.Record{Type: wal.RecCheckpoint}); err != nil {
+		return err
+	}
+	if err := db.wal.Sync(); err != nil {
+		return err
+	}
+	// Closed segments before the active one are now recoverable-from
+	// nowhere needed; recycle them (archive copies remain if enabled).
+	return db.wal.Recycle(db.wal.ActiveSegment())
+}
+
+// Close checkpoints and shuts the engine down.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+
+	if err := db.Checkpoint(); err != nil {
+		// Best effort: still close files.
+		db.closeTables()
+		db.wal.Close()
+		return err
+	}
+	var firstErr error
+	db.mu.Lock()
+	for _, t := range db.tables {
+		if err := t.heap.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	db.mu.Unlock()
+	if err := db.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (db *DB) closeTables() {
+	for _, t := range db.tables {
+		t.heap.Close()
+	}
+}
+
+// Heap exposes the table's heap file for utilities (loader, snapshots).
+func (t *Table) Heap() *storage.HeapFile { return t.heap }
+
+// NumRows returns the live row count.
+func (t *Table) NumRows() int64 { return t.heap.NumRecords() }
+
+// rebuildIndex scans the heap and reconstructs the PK index and every
+// secondary index.
+func (t *Table) rebuildIndex() error {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.PKCol >= 0 {
+		t.pk = newBtree()
+	}
+	for _, si := range t.sec {
+		si.tree = newBtree()
+	}
+	if t.PKCol < 0 && len(t.sec) == 0 {
+		return nil
+	}
+	return t.heap.Scan(func(rid storage.RID, rec []byte) (bool, error) {
+		tup, err := catalog.DecodeTuple(t.Schema, rec)
+		if err != nil {
+			return false, fmt.Errorf("engine: %s at %v: %w", t.Name, rid, err)
+		}
+		if t.PKCol >= 0 {
+			if err := t.pk.Insert(tup[t.PKCol], rid); err != nil {
+				return false, fmt.Errorf("engine: %s at %v: duplicate key %s", t.Name, rid, tup[t.PKCol])
+			}
+		}
+		if err := t.secInsertLocked(tup, rid); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+}
+
+// LookupPK returns the RID holding the given primary-key value.
+func (t *Table) LookupPK(v catalog.Value) (storage.RID, bool) {
+	if t.PKCol < 0 {
+		return storage.InvalidRID, false
+	}
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	return t.pk.Get(v)
+}
+
+// RangePK visits (key, rid) pairs with lo <= key <= hi in key order
+// under the index read lock. Nil bounds are open.
+func (t *Table) RangePK(lo, hi *catalog.Value, fn func(catalog.Value, storage.RID) bool) {
+	if t.PKCol < 0 {
+		return
+	}
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	t.pk.Range(lo, hi, fn)
+}
+
+func (t *Table) indexInsert(tup catalog.Tuple, rid storage.RID) error {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.PKCol >= 0 {
+		if err := t.pk.Insert(tup[t.PKCol], rid); err != nil {
+			return fmt.Errorf("engine: duplicate primary key %s in %s", tup[t.PKCol], t.Name)
+		}
+	}
+	return t.secInsertLocked(tup, rid)
+}
+
+func (t *Table) indexDelete(tup catalog.Tuple) {
+	t.indexDeleteAt(tup, storage.InvalidRID)
+}
+
+// indexDeleteAt removes index entries for a row. Secondary entries are
+// keyed by (value, rid); callers that know the RID pass it, the PK-only
+// legacy path may not.
+func (t *Table) indexDeleteAt(tup catalog.Tuple, rid storage.RID) {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.PKCol >= 0 {
+		t.pk.Delete(tup[t.PKCol])
+	}
+	if rid != storage.InvalidRID {
+		t.secDeleteLocked(tup, rid)
+	}
+}
+
+// indexUpdate rewires all indexes for an updated row: oldRID is where
+// the before image lived, rid where the after image lives now.
+func (t *Table) indexUpdate(before, after catalog.Tuple, oldRID, rid storage.RID) error {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.PKCol >= 0 {
+		if catalog.Equal(before[t.PKCol], after[t.PKCol]) {
+			// Same key: refresh the RID in place.
+			t.pk.Delete(before[t.PKCol])
+			if err := t.pk.Insert(after[t.PKCol], rid); err != nil {
+				return err
+			}
+		} else {
+			if _, dup := t.pk.Get(after[t.PKCol]); dup {
+				return fmt.Errorf("engine: duplicate primary key %s in %s", after[t.PKCol], t.Name)
+			}
+			t.pk.Delete(before[t.PKCol])
+			if err := t.pk.Insert(after[t.PKCol], rid); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.secDeleteLocked(before, oldRID); err != nil {
+		return err
+	}
+	return t.secInsertLocked(after, rid)
+}

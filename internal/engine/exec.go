@@ -1,0 +1,551 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/sqlmini"
+	"opdelta/internal/storage"
+	"opdelta/internal/wal"
+)
+
+// Result reports statement effects.
+type Result struct {
+	RowsAffected int64
+}
+
+var emptySchema = catalog.NewSchema()
+
+// Exec parses and executes one statement. A nil tx runs the statement
+// in its own transaction (autocommit).
+func (db *DB) Exec(tx *Tx, sql string) (Result, error) {
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.ExecStmt(tx, stmt)
+}
+
+// ExecStmt executes a parsed statement. A nil tx autocommits.
+func (db *DB) ExecStmt(tx *Tx, stmt sqlmini.Statement) (Result, error) {
+	if tx == nil {
+		tx = db.Begin()
+		res, err := db.ExecStmt(tx, stmt)
+		if err != nil {
+			tx.Abort()
+			return Result{}, err
+		}
+		if err := tx.Commit(); err != nil {
+			return Result{}, err
+		}
+		return res, nil
+	}
+	if tx.done {
+		return Result{}, fmt.Errorf("engine: transaction %d already finished", tx.id)
+	}
+	switch s := stmt.(type) {
+	case *sqlmini.CreateTable:
+		return db.execCreateTable(s)
+	case *sqlmini.Insert:
+		return db.execInsert(tx, s)
+	case *sqlmini.Update:
+		return db.execUpdate(tx, s)
+	case *sqlmini.Delete:
+		return db.execDelete(tx, s)
+	case *sqlmini.Select:
+		return Result{}, fmt.Errorf("engine: use Query for SELECT")
+	default:
+		return Result{}, fmt.Errorf("engine: cannot execute %T", stmt)
+	}
+}
+
+func (db *DB) execCreateTable(s *sqlmini.CreateTable) (Result, error) {
+	cols := make([]catalog.Column, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		cols = append(cols, catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+	}
+	_, err := db.CreateTable(TableDef{
+		Name:         s.Table,
+		Schema:       catalog.NewSchema(cols...),
+		PrimaryKey:   s.PrimaryKey,
+		TimestampCol: s.TimestampCol,
+	})
+	return Result{}, err
+}
+
+// coerce adapts v to the column type where a lossless conversion
+// exists (integer literals into DOUBLE columns).
+func coerce(v catalog.Value, col catalog.Column) (catalog.Value, error) {
+	if v.IsNull() {
+		return catalog.NewNull(col.Type), nil
+	}
+	if v.Type() == col.Type {
+		return v, nil
+	}
+	if v.Type() == catalog.TypeInt64 && col.Type == catalog.TypeFloat64 {
+		return catalog.NewFloat(float64(v.Int())), nil
+	}
+	return catalog.Value{}, fmt.Errorf("engine: column %q expects %s, got %s", col.Name, col.Type, v.Type())
+}
+
+func (db *DB) execInsert(tx *Tx, s *sqlmini.Insert) (Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tx.lockExclusive(t.Name); err != nil {
+		return Result{}, err
+	}
+	// Resolve the column list to schema positions once.
+	var positions []int
+	if s.Columns != nil {
+		positions = make([]int, len(s.Columns))
+		for i, name := range s.Columns {
+			idx, ok := t.Schema.ColIndex(name)
+			if !ok {
+				return Result{}, fmt.Errorf("engine: no column %q in %s", name, t.Name)
+			}
+			positions[i] = idx
+		}
+	}
+	var n int64
+	for _, row := range s.Rows {
+		tup := make(catalog.Tuple, t.Schema.NumColumns())
+		for i := range tup {
+			tup[i] = catalog.NewNull(t.Schema.Column(i).Type)
+		}
+		if positions == nil {
+			if len(row) != t.Schema.NumColumns() {
+				return Result{}, fmt.Errorf("engine: INSERT has %d values, %s has %d columns",
+					len(row), t.Name, t.Schema.NumColumns())
+			}
+			for i, e := range row {
+				v, err := sqlmini.Eval(e, emptySchema, nil)
+				if err != nil {
+					return Result{}, err
+				}
+				if tup[i], err = coerce(v, t.Schema.Column(i)); err != nil {
+					return Result{}, err
+				}
+			}
+		} else {
+			if len(row) != len(positions) {
+				return Result{}, fmt.Errorf("engine: INSERT has %d values for %d columns", len(row), len(positions))
+			}
+			for i, e := range row {
+				v, err := sqlmini.Eval(e, emptySchema, nil)
+				if err != nil {
+					return Result{}, err
+				}
+				if tup[positions[i]], err = coerce(v, t.Schema.Column(positions[i])); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		if t.TSCol >= 0 && tup[t.TSCol].IsNull() {
+			tup[t.TSCol] = catalog.NewTime(db.opts.Now())
+		}
+		if err := db.insertRow(tx, t, tup); err != nil {
+			return Result{}, err
+		}
+		n++
+	}
+	return Result{RowsAffected: n}, nil
+}
+
+// insertRow applies one validated insert: heap, WAL, index, undo,
+// triggers. The caller holds the table X lock.
+func (db *DB) insertRow(tx *Tx, t *Table, tup catalog.Tuple) error {
+	enc, err := catalog.EncodeTuple(nil, t.Schema, tup)
+	if err != nil {
+		return err
+	}
+	if t.PKCol >= 0 {
+		if tup[t.PKCol].IsNull() {
+			return fmt.Errorf("engine: NULL primary key in %s", t.Name)
+		}
+		if _, dup := t.LookupPK(tup[t.PKCol]); dup {
+			return fmt.Errorf("engine: duplicate primary key %s in %s", tup[t.PKCol], t.Name)
+		}
+	}
+	if err := tx.ensureBegun(); err != nil {
+		return err
+	}
+	rid, err := t.heap.Insert(enc)
+	if err != nil {
+		return err
+	}
+	if _, err := db.wal.Append(&wal.Record{
+		Type: wal.RecInsert, Txn: uint64(tx.id), Table: t.Name,
+		Page: uint32(rid.Page), Slot: rid.Slot, After: enc,
+	}); err != nil {
+		return err
+	}
+	if err := t.indexInsert(tup, rid); err != nil {
+		// Should be unreachable given the pre-check under the X lock.
+		t.heap.DeleteIfLive(rid)
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{table: t.Name, typ: wal.RecInsert, rid: rid, after: enc})
+	return tx.fireTriggers(t, TriggerEvent{Op: TrigInsert, Table: t.Name, Txn: tx.id, After: tup})
+}
+
+// target is one row selected for mutation.
+type target struct {
+	rid storage.RID
+	tup catalog.Tuple
+}
+
+// collectTargets returns the rows matching where, via the ordered PK
+// index when the predicate is an equality or range over the primary
+// key, otherwise via a full scan — the plan split the paper describes
+// ("table scans unless an index is defined").
+func (db *DB) collectTargets(t *Table, where sqlmini.Expr) ([]target, error) {
+	if kr, ok := pkRangePlan(t, where); ok {
+		return db.targetsFromRIDs(t, kr.rangeRIDs(t))
+	}
+	if si, kr, ok := secondaryRangePlan(t, where); ok {
+		rids, err := t.rangeSecondary(si, kr)
+		if err != nil {
+			return nil, err
+		}
+		return db.targetsFromRIDs(t, rids)
+	}
+	var out []target
+	err := t.heap.Scan(func(rid storage.RID, rec []byte) (bool, error) {
+		tup, err := catalog.DecodeTuple(t.Schema, rec)
+		if err != nil {
+			return false, err
+		}
+		ok, err := sqlmini.EvalPredicate(where, t.Schema, tup)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			out = append(out, target{rid: rid, tup: tup.Clone()})
+		}
+		return true, nil
+	})
+	return out, err
+}
+
+func (db *DB) execUpdate(tx *Tx, s *sqlmini.Update) (Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tx.lockExclusive(t.Name); err != nil {
+		return Result{}, err
+	}
+	targets, err := db.collectTargets(t, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	// Pre-resolve assignment positions.
+	type assign struct {
+		pos  int
+		expr sqlmini.Expr
+	}
+	assigns := make([]assign, len(s.Assigns))
+	tsAssigned := false
+	for i, a := range s.Assigns {
+		pos, ok := t.Schema.ColIndex(a.Col)
+		if !ok {
+			return Result{}, fmt.Errorf("engine: no column %q in %s", a.Col, t.Name)
+		}
+		if pos == t.TSCol {
+			tsAssigned = true
+		}
+		assigns[i] = assign{pos: pos, expr: a.Value}
+	}
+	var n int64
+	for _, tg := range targets {
+		before := tg.tup
+		after := before.Clone()
+		for _, a := range assigns {
+			v, err := sqlmini.Eval(a.expr, t.Schema, before)
+			if err != nil {
+				return Result{}, err
+			}
+			if after[a.pos], err = coerce(v, t.Schema.Column(a.pos)); err != nil {
+				return Result{}, err
+			}
+		}
+		if t.TSCol >= 0 && !tsAssigned {
+			after[t.TSCol] = catalog.NewTime(db.opts.Now())
+		}
+		if err := db.updateRow(tx, t, tg.rid, before, after); err != nil {
+			return Result{}, err
+		}
+		n++
+	}
+	return Result{RowsAffected: n}, nil
+}
+
+func (db *DB) updateRow(tx *Tx, t *Table, rid storage.RID, before, after catalog.Tuple) error {
+	beforeEnc, err := catalog.EncodeTuple(nil, t.Schema, before)
+	if err != nil {
+		return err
+	}
+	afterEnc, err := catalog.EncodeTuple(nil, t.Schema, after)
+	if err != nil {
+		return err
+	}
+	if err := tx.ensureBegun(); err != nil {
+		return err
+	}
+	newRID, err := t.heap.Update(rid, afterEnc)
+	if err != nil {
+		return err
+	}
+	if _, err := db.wal.Append(&wal.Record{
+		Type: wal.RecUpdate, Txn: uint64(tx.id), Table: t.Name,
+		Page: uint32(rid.Page), Slot: rid.Slot,
+		NewPage: uint32(newRID.Page), NewSlot: newRID.Slot,
+		Before: beforeEnc, After: afterEnc,
+	}); err != nil {
+		return err
+	}
+	if err := t.indexUpdate(before, after, rid, newRID); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{
+		table: t.Name, typ: wal.RecUpdate, rid: rid, newRID: newRID,
+		before: beforeEnc, after: afterEnc,
+	})
+	return tx.fireTriggers(t, TriggerEvent{Op: TrigUpdate, Table: t.Name, Txn: tx.id, Before: before, After: after})
+}
+
+func (db *DB) execDelete(tx *Tx, s *sqlmini.Delete) (Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tx.lockExclusive(t.Name); err != nil {
+		return Result{}, err
+	}
+	targets, err := db.collectTargets(t, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	var n int64
+	for _, tg := range targets {
+		if err := db.deleteRow(tx, t, tg.rid, tg.tup); err != nil {
+			return Result{}, err
+		}
+		n++
+	}
+	return Result{RowsAffected: n}, nil
+}
+
+func (db *DB) deleteRow(tx *Tx, t *Table, rid storage.RID, before catalog.Tuple) error {
+	beforeEnc, err := catalog.EncodeTuple(nil, t.Schema, before)
+	if err != nil {
+		return err
+	}
+	if err := tx.ensureBegun(); err != nil {
+		return err
+	}
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	if _, err := db.wal.Append(&wal.Record{
+		Type: wal.RecDelete, Txn: uint64(tx.id), Table: t.Name,
+		Page: uint32(rid.Page), Slot: rid.Slot, Before: beforeEnc,
+	}); err != nil {
+		return err
+	}
+	t.indexDeleteAt(before, rid)
+	tx.undo = append(tx.undo, undoRec{table: t.Name, typ: wal.RecDelete, rid: rid, before: beforeEnc})
+	return tx.fireTriggers(t, TriggerEvent{Op: TrigDelete, Table: t.Name, Txn: tx.id, Before: before})
+}
+
+// Query parses and runs a SELECT, returning the result schema and all
+// matching rows. A nil tx runs in its own read-only transaction.
+func (db *DB) Query(tx *Tx, sql string) (*catalog.Schema, []catalog.Tuple, error) {
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := stmt.(*sqlmini.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: Query requires SELECT, got %T", stmt)
+	}
+	return db.QueryStmt(tx, sel)
+}
+
+// QueryStmt runs a parsed SELECT, materializing all rows. Aggregate
+// queries, ORDER BY and LIMIT are evaluated here (they need the full
+// result set); plain streaming consumers use IterateSelect.
+func (db *DB) QueryStmt(tx *Tx, sel *sqlmini.Select) (*catalog.Schema, []catalog.Tuple, error) {
+	if len(sel.Aggregates) > 0 {
+		return db.queryAggregate(tx, sel)
+	}
+	// Stream the base rows; ordering happens on the materialized set, so
+	// LIMIT can only stop the stream early when no ORDER BY reorders it.
+	base := *sel
+	base.OrderBy, base.Desc = "", false
+	if sel.OrderBy != "" {
+		base.Limit = 0
+	}
+	var rows []catalog.Tuple
+	schema, err := db.IterateSelect(tx, &base, func(t catalog.Tuple) error {
+		rows = append(rows, t)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err = orderAndLimit(sel, schema, rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, rows, nil
+}
+
+// IterateSelect streams SELECT results to fn, holding a shared lock on
+// the table for the duration. A nil tx uses an internal transaction.
+// Aggregate queries and ORDER BY are not streamable — use QueryStmt;
+// LIMIT (without ORDER BY) stops the stream early.
+func (db *DB) IterateSelect(tx *Tx, sel *sqlmini.Select, fn func(catalog.Tuple) error) (*catalog.Schema, error) {
+	if len(sel.Aggregates) > 0 || sel.OrderBy != "" {
+		return nil, fmt.Errorf("engine: aggregate/ordered SELECT cannot stream; use Query")
+	}
+	if sel.Limit > 0 {
+		remaining := sel.Limit
+		inner := fn
+		fn = func(t catalog.Tuple) error {
+			if remaining <= 0 {
+				return errStopIteration
+			}
+			remaining--
+			if err := inner(t); err != nil {
+				return err
+			}
+			if remaining == 0 {
+				return errStopIteration
+			}
+			return nil
+		}
+	}
+	if tx == nil {
+		tx = db.Begin()
+		defer tx.Commit()
+	}
+	t, err := db.Table(sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.lockShared(t.Name); err != nil {
+		return nil, err
+	}
+	outSchema := t.Schema
+	var proj []int
+	if sel.Columns != nil {
+		proj = make([]int, len(sel.Columns))
+		for i, name := range sel.Columns {
+			idx, ok := t.Schema.ColIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("engine: no column %q in %s", name, t.Name)
+			}
+			proj[i] = idx
+		}
+		outSchema, err = t.Schema.Project(sel.Columns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	emit := func(tup catalog.Tuple) error {
+		if proj == nil {
+			return fn(tup.Clone())
+		}
+		out := make(catalog.Tuple, len(proj))
+		for i, p := range proj {
+			out[i] = tup[p]
+		}
+		return fn(out)
+	}
+	var planRIDs []storage.RID
+	planned := false
+	if kr, ok := pkRangePlan(t, sel.Where); ok {
+		planRIDs, planned = kr.rangeRIDs(t), true
+	} else if si, kr, ok := secondaryRangePlan(t, sel.Where); ok {
+		rids, err := t.rangeSecondary(si, kr)
+		if err != nil {
+			return nil, err
+		}
+		planRIDs, planned = rids, true
+	}
+	if planned {
+		for _, rid := range planRIDs {
+			rec, err := t.heap.Get(rid)
+			if err != nil {
+				return nil, err
+			}
+			tup, err := catalog.DecodeTuple(t.Schema, rec)
+			if err != nil {
+				return nil, err
+			}
+			if err := emit(tup); err != nil {
+				if errors.Is(err, errStopIteration) {
+					return outSchema, nil
+				}
+				return nil, err
+			}
+		}
+		return outSchema, nil
+	}
+	err = t.heap.Scan(func(rid storage.RID, rec []byte) (bool, error) {
+		tup, err := catalog.DecodeTuple(t.Schema, rec)
+		if err != nil {
+			return false, err
+		}
+		ok, err := sqlmini.EvalPredicate(sel.Where, t.Schema, tup)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		if err := emit(tup); err != nil {
+			if errors.Is(err, errStopIteration) {
+				return false, nil
+			}
+			return false, err
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outSchema, nil
+}
+
+// errStopIteration terminates a LIMITed stream early; it never escapes
+// the engine.
+var errStopIteration = errors.New("engine: stop iteration")
+
+// ScanTable streams every row of a table under a shared lock. Export,
+// snapshot and extraction utilities build on this.
+func (db *DB) ScanTable(tx *Tx, name string, fn func(catalog.Tuple) error) error {
+	_, err := db.IterateSelect(tx, &sqlmini.Select{Table: name}, fn)
+	return err
+}
+
+// targetsFromRIDs fetches and decodes the rows behind an index plan.
+func (db *DB) targetsFromRIDs(t *Table, rids []storage.RID) ([]target, error) {
+	var out []target
+	for _, rid := range rids {
+		rec, err := t.heap.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		tup, err := catalog.DecodeTuple(t.Schema, rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, target{rid: rid, tup: tup})
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/storage"
+)
+
+// Secondary indexes: non-unique ordered indexes over one column,
+// implemented as B+-trees of order-preserving composite (value, RID)
+// keys (see enc.go). The paper's timestamp method depends on one:
+// "the time stamp based methods require table scans unless an index is
+// defined on the time stamp attribute".
+
+// secIndex is one secondary index.
+type secIndex struct {
+	col  int // column position in the table schema
+	tree *btree
+}
+
+// CreateSecondaryIndex builds a non-unique ordered index on the named
+// column, persists it in the catalog, and back-fills it from the heap.
+// Range and equality predicates over that column then use the index
+// when they cover the whole WHERE clause.
+func (db *DB) CreateSecondaryIndex(table, column string) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	col, ok := t.Schema.ColIndex(column)
+	if !ok {
+		return fmt.Errorf("engine: no column %q in %s", column, table)
+	}
+	t.idxMu.Lock()
+	for _, si := range t.sec {
+		if si.col == col {
+			t.idxMu.Unlock()
+			return fmt.Errorf("engine: index on %s.%s already exists", table, column)
+		}
+	}
+	si := &secIndex{col: col, tree: newBtree()}
+	t.sec = append(t.sec, si)
+	t.idxMu.Unlock()
+
+	if err := t.backfillIndex(si); err != nil {
+		// Roll the registration back.
+		t.idxMu.Lock()
+		for i, other := range t.sec {
+			if other == si {
+				t.sec = append(t.sec[:i], t.sec[i+1:]...)
+				break
+			}
+		}
+		t.idxMu.Unlock()
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.saveCatalogLocked()
+}
+
+// DropSecondaryIndex removes the index on the named column.
+func (db *DB) DropSecondaryIndex(table, column string) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	col, ok := t.Schema.ColIndex(column)
+	if !ok {
+		return fmt.Errorf("engine: no column %q in %s", column, table)
+	}
+	t.idxMu.Lock()
+	found := false
+	for i, si := range t.sec {
+		if si.col == col {
+			t.sec = append(t.sec[:i], t.sec[i+1:]...)
+			found = true
+			break
+		}
+	}
+	t.idxMu.Unlock()
+	if !found {
+		return fmt.Errorf("engine: no index on %s.%s", table, column)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.saveCatalogLocked()
+}
+
+// SecondaryIndexes lists the indexed column names.
+func (t *Table) SecondaryIndexes() []string {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	out := make([]string, 0, len(t.sec))
+	for _, si := range t.sec {
+		out = append(out, t.Schema.Column(si.col).Name)
+	}
+	return out
+}
+
+// backfillIndex scans the heap into a fresh index.
+func (t *Table) backfillIndex(si *secIndex) error {
+	return t.heap.Scan(func(rid storage.RID, rec []byte) (bool, error) {
+		tup, err := catalog.DecodeTuple(t.Schema, rec)
+		if err != nil {
+			return false, err
+		}
+		key, err := indexEntryKey(tup[si.col], rid)
+		if err != nil {
+			return false, err
+		}
+		t.idxMu.Lock()
+		err = si.tree.Insert(key, rid)
+		t.idxMu.Unlock()
+		return err == nil, err
+	})
+}
+
+// secInsertLocked/secDeleteLocked maintain every secondary index for
+// one row change; callers hold idxMu.
+func (t *Table) secInsertLocked(tup catalog.Tuple, rid storage.RID) error {
+	for _, si := range t.sec {
+		key, err := indexEntryKey(tup[si.col], rid)
+		if err != nil {
+			return err
+		}
+		if err := si.tree.Insert(key, rid); err != nil {
+			return fmt.Errorf("engine: secondary index on %s: %w", t.Schema.Column(si.col).Name, err)
+		}
+	}
+	return nil
+}
+
+func (t *Table) secDeleteLocked(tup catalog.Tuple, rid storage.RID) error {
+	for _, si := range t.sec {
+		key, err := indexEntryKey(tup[si.col], rid)
+		if err != nil {
+			return err
+		}
+		si.tree.Delete(key)
+	}
+	return nil
+}
+
+// secIndexFor returns the index over the named column, if any.
+func (t *Table) secIndexFor(name string) *secIndex {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	for _, si := range t.sec {
+		if strings.EqualFold(t.Schema.Column(si.col).Name, name) {
+			return si
+		}
+	}
+	return nil
+}
+
+// rangeSecondary collects RIDs of entries whose column value lies in
+// the keyRange, in value order.
+func (t *Table) rangeSecondary(si *secIndex, kr *keyRange) ([]storage.RID, error) {
+	loKey, hiKey, err := indexRangeBounds(kr.lo, kr.hi, kr.loX, kr.hiX)
+	if err != nil {
+		return nil, err
+	}
+	var out []storage.RID
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	si.tree.Range(loKey, hiKey, func(k catalog.Value, _ storage.RID) bool {
+		out = append(out, decodeEntryRID(k))
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/storage"
+	"opdelta/internal/txn"
+	"opdelta/internal/wal"
+)
+
+// Tx is one transaction. It is not safe for concurrent use by multiple
+// goroutines. Transactions hold table locks until Commit or Abort.
+type Tx struct {
+	db    *DB
+	id    txn.ID
+	began bool // BEGIN written to WAL (deferred until first write)
+	done  bool
+	undo  []undoRec
+	depth int // trigger recursion depth
+
+	// onCommit hooks run after the commit record is durable; the
+	// Op-Delta file log uses this to keep op capture off the critical
+	// path of transaction management (the paper's "file log" variant).
+	onCommit []func() error
+	// onAbort hooks run after rollback completes.
+	onAbort []func()
+}
+
+type undoRec struct {
+	table  string
+	typ    wal.RecType
+	rid    storage.RID
+	newRID storage.RID // RecUpdate: location of after image
+	before []byte      // encoded before image (delete, update)
+	after  []byte      // encoded after image (insert, update) — for index undo
+}
+
+const maxTriggerDepth = 8
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	db.activeMu.Lock()
+	db.active++
+	db.activeMu.Unlock()
+	return &Tx{db: db, id: db.txns.Begin()}
+}
+
+// ID returns the transaction's identifier.
+func (tx *Tx) ID() txn.ID { return tx.id }
+
+// OnCommit registers fn to run after this transaction commits durably.
+func (tx *Tx) OnCommit(fn func() error) { tx.onCommit = append(tx.onCommit, fn) }
+
+// OnAbort registers fn to run if this transaction rolls back.
+func (tx *Tx) OnAbort(fn func()) { tx.onAbort = append(tx.onAbort, fn) }
+
+func (tx *Tx) ensureBegun() error {
+	if tx.began {
+		return nil
+	}
+	if _, err := tx.db.wal.Append(&wal.Record{Type: wal.RecBegin, Txn: uint64(tx.id)}); err != nil {
+		return err
+	}
+	tx.began = true
+	return nil
+}
+
+func (tx *Tx) finish() {
+	tx.done = true
+	tx.db.locks.ReleaseAll(tx.id)
+	tx.db.activeMu.Lock()
+	tx.db.active--
+	tx.db.activeMu.Unlock()
+}
+
+// Commit makes the transaction's effects durable per the WAL sync
+// policy and releases its locks.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("engine: transaction %d already finished", tx.id)
+	}
+	if tx.began {
+		if _, err := tx.db.wal.Append(&wal.Record{Type: wal.RecCommit, Txn: uint64(tx.id)}); err != nil {
+			tx.rollback()
+			tx.finish()
+			return err
+		}
+	}
+	tx.finish()
+	for _, fn := range tx.onCommit {
+		if err := fn(); err != nil {
+			return fmt.Errorf("engine: post-commit hook: %w", err)
+		}
+	}
+	return nil
+}
+
+// Abort rolls the transaction back and releases its locks.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return fmt.Errorf("engine: transaction %d already finished", tx.id)
+	}
+	err := tx.rollback()
+	if tx.began {
+		if _, werr := tx.db.wal.Append(&wal.Record{Type: wal.RecAbort, Txn: uint64(tx.id)}); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	tx.finish()
+	for _, fn := range tx.onAbort {
+		fn()
+	}
+	return err
+}
+
+// rollback applies the undo list in reverse order.
+func (tx *Tx) rollback() error {
+	var firstErr error
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		t, err := tx.db.Table(u.table)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := undoOne(t, u); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	tx.undo = nil
+	return firstErr
+}
+
+func undoOne(t *Table, u undoRec) error {
+	switch u.typ {
+	case wal.RecInsert:
+		if err := t.heap.DeleteIfLive(u.rid); err != nil {
+			return err
+		}
+		if u.after != nil {
+			tup, err := catalog.DecodeTuple(t.Schema, u.after)
+			if err != nil {
+				return err
+			}
+			t.indexDeleteAt(tup, u.rid)
+		}
+	case wal.RecDelete:
+		if err := t.heap.PlaceAt(u.rid, u.before); err != nil {
+			return err
+		}
+		tup, err := catalog.DecodeTuple(t.Schema, u.before)
+		if err != nil {
+			return err
+		}
+		if err := t.indexInsert(tup, u.rid); err != nil {
+			return err
+		}
+	case wal.RecUpdate:
+		if u.newRID != u.rid {
+			if err := t.heap.DeleteIfLive(u.newRID); err != nil {
+				return err
+			}
+		}
+		if err := t.heap.PlaceAt(u.rid, u.before); err != nil {
+			return err
+		}
+		beforeTup, err := catalog.DecodeTuple(t.Schema, u.before)
+		if err != nil {
+			return err
+		}
+		afterTup, err := catalog.DecodeTuple(t.Schema, u.after)
+		if err != nil {
+			return err
+		}
+		// Reverse of the forward index update.
+		if err := t.indexUpdate(afterTup, beforeTup, u.newRID, u.rid); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("engine: cannot undo record type %v", u.typ)
+	}
+	return nil
+}
+
+// lockShared acquires a shared lock on table for tx.
+func (tx *Tx) lockShared(table string) error {
+	return tx.db.locks.Acquire(tx.id, table, txn.Shared)
+}
+
+// lockExclusive acquires an exclusive lock on table for tx.
+func (tx *Tx) lockExclusive(table string) error {
+	return tx.db.locks.Acquire(tx.id, table, txn.Exclusive)
+}

@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"fmt"
+
+	"opdelta/internal/catalog"
+)
+
+// InsertTuple inserts one pre-built tuple through the full engine write
+// path (locking, WAL, index, triggers). Utilities such as Import use it
+// to avoid SQL round-trips while still paying full insert-path cost. A
+// nil tx autocommits.
+func (db *DB) InsertTuple(tx *Tx, table string, tup catalog.Tuple) error {
+	if tx == nil {
+		tx = db.Begin()
+		if err := db.InsertTuple(tx, table, tup); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockExclusive(t.Name); err != nil {
+		return err
+	}
+	if err := t.Schema.Validate(tup); err != nil {
+		return fmt.Errorf("engine: %s: %w", table, err)
+	}
+	return db.insertRow(tx, t, tup)
+}
+
+// RebuildIndex rescans the heap and rebuilds the primary-key index.
+// Bulk utilities that write heap pages directly (the ASCII Loader) call
+// this afterward, mirroring how real loaders rebuild indexes after a
+// direct-path load.
+func (t *Table) RebuildIndex() error { return t.rebuildIndex() }

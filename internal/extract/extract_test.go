@@ -1,0 +1,426 @@
+package extract
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/transport"
+)
+
+type clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newClock() *clock { return &clock{now: time.Date(2000, 3, 1, 0, 0, 0, 0, time.UTC)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(time.Millisecond)
+	return c.now
+}
+
+func openDB(t *testing.T, opts engine.Options) *engine.DB {
+	t.Helper()
+	if opts.Now == nil {
+		opts.Now = newClock().Now
+	}
+	db, err := engine.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func createParts(t *testing.T, db *engine.DB) {
+	t.Helper()
+	if _, err := db.Exec(nil, `CREATE TABLE parts (
+		part_id BIGINT NOT NULL, status VARCHAR, qty BIGINT, last_modified TIMESTAMP
+	) PRIMARY KEY (part_id) TIMESTAMP COLUMN (last_modified)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func kindCounts(ds []Delta) map[Kind]int {
+	out := map[Kind]int{}
+	for _, d := range ds {
+		out[d.Kind]++
+	}
+	return out
+}
+
+func TestTimestampExtraction(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	db.Exec(nil, `INSERT INTO parts (part_id, status, qty) VALUES (1, 'a', 1), (2, 'b', 2), (3, 'c', 3)`)
+
+	ex := &TimestampExtractor{DB: db, Table: "parts"}
+	var sink CollectSink
+	n, err := ex.Extract(&sink)
+	if err != nil || n != 3 {
+		t.Fatalf("first extract: %d, %v", n, err)
+	}
+	for _, d := range sink.Deltas {
+		if d.Kind != KindUpsert || d.After == nil || d.Before != nil {
+			t.Fatalf("timestamp delta shape wrong: %+v", d)
+		}
+	}
+	// Nothing changed: second run is empty.
+	sink.Deltas = nil
+	n, err = ex.Extract(&sink)
+	if err != nil || n != 0 {
+		t.Fatalf("idle extract: %d, %v", n, err)
+	}
+	// Update one row: exactly one upsert.
+	db.Exec(nil, `UPDATE parts SET status = 'x' WHERE part_id = 2`)
+	n, err = ex.Extract(&sink)
+	if err != nil || n != 1 {
+		t.Fatalf("after update: %d, %v", n, err)
+	}
+	if sink.Deltas[0].After[1].Str() != "x" {
+		t.Fatalf("delta = %+v", sink.Deltas[0])
+	}
+	// The documented blind spot: deletes are invisible.
+	db.Exec(nil, `DELETE FROM parts WHERE part_id = 1`)
+	sink.Deltas = nil
+	n, err = ex.Extract(&sink)
+	if err != nil || n != 0 {
+		t.Fatalf("timestamp method must miss deletes, got %d deltas (%v)", n, err)
+	}
+	// Intermediate states collapse: two updates, one delta.
+	db.Exec(nil, `UPDATE parts SET status = 'mid' WHERE part_id = 3`)
+	db.Exec(nil, `UPDATE parts SET status = 'final' WHERE part_id = 3`)
+	sink.Deltas = nil
+	n, _ = ex.Extract(&sink)
+	if n != 1 || sink.Deltas[0].After[1].Str() != "final" {
+		t.Fatalf("state-change collapse: n=%d deltas=%v", n, sink.Deltas)
+	}
+}
+
+func TestTimestampExtractorNeedsTSColumn(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	db.Exec(nil, `CREATE TABLE plain (id BIGINT)`)
+	ex := &TimestampExtractor{DB: db, Table: "plain"}
+	if _, err := ex.Extract(&CollectSink{}); err == nil {
+		t.Fatal("table without timestamp column must be rejected")
+	}
+}
+
+func TestTriggerCaptureAllKinds(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	cap := &TriggerCapture{DB: db, Table: "parts"}
+	if err := cap.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cap.Install(); err == nil {
+		t.Fatal("double install must fail")
+	}
+	db.Exec(nil, `INSERT INTO parts (part_id, status, qty) VALUES (1, 'a', 1), (2, 'b', 2)`)
+	db.Exec(nil, `UPDATE parts SET status = 'bb' WHERE part_id = 2`)
+	db.Exec(nil, `DELETE FROM parts WHERE part_id = 1`)
+
+	var sink CollectSink
+	n, err := cap.Extract(&sink)
+	if err != nil || n != 4 {
+		t.Fatalf("drain: %d, %v", n, err)
+	}
+	counts := kindCounts(sink.Deltas)
+	if counts[KindInsert] != 2 || counts[KindUpdate] != 1 || counts[KindDelete] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Order preserved via sequence numbers.
+	for i := 1; i < len(sink.Deltas); i++ {
+		if sink.Deltas[i].Seq <= sink.Deltas[i-1].Seq {
+			t.Fatal("drain must be in sequence order")
+		}
+	}
+	// Update carries both images; txn ids recorded.
+	for _, d := range sink.Deltas {
+		if d.Txn == 0 {
+			t.Fatal("trigger capture must record source transactions")
+		}
+		if d.Kind == KindUpdate && (d.Before[1].Str() != "b" || d.After[1].Str() != "bb") {
+			t.Fatalf("update images: %+v", d)
+		}
+	}
+	// Drain cleared the capture table.
+	n, err = cap.Extract(&sink)
+	if err != nil || n != 0 {
+		t.Fatalf("second drain: %d, %v", n, err)
+	}
+	// After uninstall nothing is captured.
+	if err := cap.Uninstall(); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(nil, `INSERT INTO parts (part_id) VALUES (9)`)
+	if n, _ := cap.Extract(&CollectSink{}); n != 0 {
+		t.Fatalf("captured %d after uninstall", n)
+	}
+}
+
+func TestTriggerCaptureRollsBackWithUserTxn(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	cap := &TriggerCapture{DB: db, Table: "parts"}
+	if err := cap.Install(); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	db.Exec(tx, `INSERT INTO parts (part_id) VALUES (1)`)
+	tx.Abort()
+	if n, _ := cap.Extract(&CollectSink{}); n != 0 {
+		t.Fatalf("captured %d deltas from an aborted transaction", n)
+	}
+}
+
+func TestTriggerCaptureRemote(t *testing.T) {
+	src := openDB(t, engine.Options{})
+	createParts(t, src)
+	staging := openDB(t, engine.Options{})
+	createParts(t, staging) // same DDL so the delta table schema matches
+	remoteSink, err := EnsureDeltaTable(staging, "parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var virt time.Duration
+	link := &transport.Link{Latency: time.Millisecond, BandwidthBps: 10_000_000 / 8,
+		Sleep: func(d time.Duration) { virt += d }}
+	cap := &TriggerCapture{DB: src, Table: "parts",
+		Remote: &RemoteTableSink{Remote: remoteSink, Link: link}}
+	if err := cap.Install(); err != nil {
+		t.Fatal(err)
+	}
+	db := src
+	db.Exec(nil, `INSERT INTO parts (part_id) VALUES (1), (2), (3)`)
+	if link.Stats().Messages != 3 {
+		t.Fatalf("link messages = %d", link.Stats().Messages)
+	}
+	if virt == 0 {
+		t.Fatal("remote capture must pay link cost")
+	}
+	// Deltas landed in the staging database.
+	var sink CollectSink
+	n, err := remoteSink.Drain(&sink)
+	if err != nil || n != 3 {
+		t.Fatalf("remote drain: %d, %v", n, err)
+	}
+}
+
+func TestLogMinerCommittedOnly(t *testing.T) {
+	clk := newClock()
+	db := openDB(t, engine.Options{Now: clk.Now, Archive: true})
+	createParts(t, db)
+	tbl, _ := db.Table("parts")
+
+	db.Exec(nil, `INSERT INTO parts (part_id, status, qty) VALUES (1, 'a', 1), (2, 'b', 2)`)
+	db.Exec(nil, `UPDATE parts SET qty = qty + 10 WHERE part_id = 1`)
+	db.Exec(nil, `DELETE FROM parts WHERE part_id = 2`)
+	// An aborted transaction must not be mined.
+	tx := db.Begin()
+	db.Exec(tx, `INSERT INTO parts (part_id) VALUES (99)`)
+	tx.Abort()
+
+	miner := &LogMiner{Dir: db.WALDir(), Schemas: map[string]*catalog.Schema{"parts": tbl.Schema}}
+	var sink CollectSink
+	n, err := miner.Extract(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := kindCounts(sink.Deltas)
+	if counts[KindInsert] != 2 || counts[KindUpdate] != 1 || counts[KindDelete] != 1 || n != 4 {
+		t.Fatalf("n=%d counts=%v", n, counts)
+	}
+	for _, d := range sink.Deltas {
+		if d.Txn == 0 {
+			t.Fatal("log mining preserves transaction ids")
+		}
+	}
+	// Incremental: cursor advanced, nothing new.
+	sink.Deltas = nil
+	if n, _ := miner.Extract(&sink); n != 0 {
+		t.Fatalf("re-mine produced %d", n)
+	}
+	// New activity is picked up from the cursor.
+	db.Exec(nil, `INSERT INTO parts (part_id) VALUES (50)`)
+	if n, _ := miner.Extract(&sink); n != 1 {
+		t.Fatalf("incremental mine = %d", n)
+	}
+}
+
+func TestLogMinerFromArchive(t *testing.T) {
+	clk := newClock()
+	db := openDB(t, engine.Options{Now: clk.Now, Archive: true, WALSegmentSize: 2048})
+	createParts(t, db)
+	tbl, _ := db.Table("parts")
+	for i := 0; i < 100; i++ {
+		db.Exec(nil, fmt.Sprintf(`INSERT INTO parts (part_id) VALUES (%d)`, i))
+	}
+	// Rotate so the tail segment reaches the archive, then mine the
+	// archive only — the paper's ship-the-archive-logs topology.
+	if err := db.WAL().Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	miner := &LogMiner{Dir: db.ArchiveDir(), Schemas: map[string]*catalog.Schema{"parts": tbl.Schema}}
+	var sink CollectSink
+	n, err := miner.Extract(&sink)
+	if err != nil || n != 100 {
+		t.Fatalf("archive mine: %d, %v", n, err)
+	}
+}
+
+func TestLogMinerIgnoresOtherTables(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	db.Exec(nil, `CREATE TABLE other (id BIGINT)`)
+	db.Exec(nil, `INSERT INTO other VALUES (1)`)
+	db.Exec(nil, `INSERT INTO parts (part_id) VALUES (1)`)
+	tbl, _ := db.Table("parts")
+	miner := &LogMiner{Dir: db.WALDir(), Schemas: map[string]*catalog.Schema{"parts": tbl.Schema}}
+	var sink CollectSink
+	n, err := miner.Extract(&sink)
+	if err != nil || n != 1 || sink.Deltas[0].Table != "parts" {
+		t.Fatalf("mine: %d, %v, %v", n, err, sink.Deltas)
+	}
+}
+
+func TestSnapshotExtractor(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	db.Exec(nil, `INSERT INTO parts (part_id, status, qty) VALUES (1, 'a', 1), (2, 'b', 2), (3, 'c', 3)`)
+	ex := &SnapshotExtractor{DB: db, Table: "parts", Dir: t.TempDir()}
+	var sink CollectSink
+	n, err := ex.Extract(&sink)
+	if err != nil || n != 3 {
+		t.Fatalf("baseline: %d, %v", n, err)
+	}
+	db.Exec(nil, `UPDATE parts SET status = 'z' WHERE part_id = 1`)
+	db.Exec(nil, `DELETE FROM parts WHERE part_id = 2`)
+	db.Exec(nil, `INSERT INTO parts (part_id, status, qty) VALUES (4, 'd', 4)`)
+	sink.Deltas = nil
+	n, err = ex.Extract(&sink)
+	if err != nil || n != 3 {
+		t.Fatalf("incremental: %d, %v", n, err)
+	}
+	counts := kindCounts(sink.Deltas)
+	if counts[KindUpdate] != 1 || counts[KindDelete] != 1 || counts[KindInsert] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Unlike timestamps, snapshots DO see deletes — but they also
+	// collapse intermediate states.
+	db.Exec(nil, `UPDATE parts SET status = 'mid' WHERE part_id = 3`)
+	db.Exec(nil, `UPDATE parts SET status = 'fin' WHERE part_id = 3`)
+	sink.Deltas = nil
+	n, _ = ex.Extract(&sink)
+	if n != 1 || sink.Deltas[0].After[1].Str() != "fin" {
+		t.Fatalf("collapse: n=%d %v", n, sink.Deltas)
+	}
+}
+
+func TestSnapshotExtractorWindowVariant(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	for i := 0; i < 40; i++ {
+		db.Exec(nil, fmt.Sprintf(`INSERT INTO parts (part_id, qty) VALUES (%d, %d)`, i, i))
+	}
+	ex := &SnapshotExtractor{DB: db, Table: "parts", Dir: t.TempDir(), WindowRows: 8}
+	ex.Extract(&CollectSink{}) // baseline
+	db.Exec(nil, `DELETE FROM parts WHERE part_id = 5`)
+	var sink CollectSink
+	n, err := ex.Extract(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window variant may be bulkier but must reach the same state:
+	// net effect is one delete of key 5.
+	net := map[string]int{}
+	for _, d := range sink.Deltas {
+		switch d.Kind {
+		case KindInsert:
+			net[d.After[0].String()]++
+		case KindDelete:
+			net[d.Before[0].String()]--
+		case KindUpdate:
+			// no net count change
+		}
+	}
+	for k, v := range net {
+		if k == "5" && v != -1 {
+			t.Fatalf("key 5 net = %d", v)
+		}
+		if k != "5" && v != 0 {
+			t.Fatalf("key %s net = %d (n=%d)", k, v, n)
+		}
+	}
+}
+
+func TestFileSinkRoundtrip(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	tbl, _ := db.Table("parts")
+	path := filepath.Join(t.TempDir(), "deltas.tsv")
+	sink, err := NewFileSink(path, tbl.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2000, 1, 2, 3, 4, 5, 0, time.UTC)
+	in := []Delta{
+		{Kind: KindInsert, Table: "parts", Txn: 7, Seq: 1,
+			After: catalog.Tuple{catalog.NewInt(1), catalog.NewString("a\twith\ttabs"), catalog.NewInt(5), catalog.NewTime(now)}},
+		{Kind: KindDelete, Table: "parts", Txn: 8, Seq: 2,
+			Before: catalog.Tuple{catalog.NewInt(2), catalog.NewNull(catalog.TypeString), catalog.NewInt(0), catalog.NewTime(now)}},
+		{Kind: KindUpdate, Table: "parts", Txn: 9, Seq: 3,
+			Before: catalog.Tuple{catalog.NewInt(3), catalog.NewString("x"), catalog.NewInt(1), catalog.NewTime(now)},
+			After:  catalog.Tuple{catalog.NewInt(3), catalog.NewString("y"), catalog.NewInt(2), catalog.NewTime(now)}},
+	}
+	for _, d := range in {
+		if err := sink.Write(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.N() != 3 {
+		t.Fatalf("N = %d", sink.N())
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadDeltaFile(path, tbl.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d deltas", len(out))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.Kind != b.Kind || a.Txn != b.Txn || a.Seq != b.Seq || a.Table != b.Table {
+			t.Fatalf("delta %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		if (a.Before == nil) != (b.Before == nil) || (a.Before != nil && !a.Before.Equal(b.Before)) {
+			t.Fatalf("delta %d before mismatch", i)
+		}
+		if (a.After == nil) != (b.After == nil) || (a.After != nil && !a.After.Equal(b.After)) {
+			t.Fatalf("delta %d after mismatch", i)
+		}
+	}
+}
+
+func TestDeltaEncodedSize(t *testing.T) {
+	db := openDB(t, engine.Options{})
+	createParts(t, db)
+	tbl, _ := db.Table("parts")
+	now := time.Unix(0, 0)
+	row := catalog.Tuple{catalog.NewInt(1), catalog.NewString("abc"), catalog.NewInt(2), catalog.NewTime(now)}
+	ins := Delta{Kind: KindInsert, After: row}
+	upd := Delta{Kind: KindUpdate, Before: row, After: row}
+	if upd.EncodedSize(tbl.Schema) <= ins.EncodedSize(tbl.Schema) {
+		t.Fatal("update (two images) must be bigger than insert (one image)")
+	}
+}

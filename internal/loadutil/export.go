@@ -1,0 +1,218 @@
+package loadutil
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+)
+
+// exportMagic identifies export files. The format is deliberately
+// engine-specific: the paper stresses that Export output "can only be
+// imported using the DBMS' Import utility into the same DBMS product".
+const exportMagic = "OPDELTA-EXPORT-1\n"
+
+// Export dumps the table to path in the engine's binary export format:
+// magic, table name, schema signature, then length-prefixed encoded
+// tuples. It returns the number of rows exported.
+func Export(db *engine.DB, table, path string) (int64, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.WriteString(exportMagic); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := writeString(bw, t.Name); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := writeString(bw, t.Schema.String()); err != nil {
+		f.Close()
+		return 0, err
+	}
+	var n int64
+	var scratch []byte
+	err = db.ScanTable(nil, table, func(tup catalog.Tuple) error {
+		scratch, err = catalog.EncodeTuple(scratch[:0], t.Schema, tup)
+		if err != nil {
+			return err
+		}
+		var lenBuf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(lenBuf[:], uint64(len(scratch)))
+		if _, err := bw.Write(lenBuf[:k]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return n, f.Close()
+}
+
+// ImportOptions tunes Import behaviour.
+type ImportOptions struct {
+	// BatchRows is the number of rows per transaction. Default 1000.
+	BatchRows int
+	// StagePages is the number of internal staging pages filled before
+	// records are pushed into the database — the "fills its own
+	// internal pages and when the pages overflow they write the data
+	// into the database" behaviour. Default 16.
+	StagePages int
+}
+
+func (o *ImportOptions) fill() {
+	if o.BatchRows <= 0 {
+		o.BatchRows = 1000
+	}
+	if o.StagePages <= 0 {
+		o.StagePages = 16
+	}
+}
+
+// Import loads an export file into the named table through the full
+// engine insert path. The destination schema must match the exported
+// schema exactly. Returns rows imported.
+func Import(db *engine.DB, table, path string, opts ImportOptions) (int64, error) {
+	opts.fill()
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(exportMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != exportMagic {
+		return 0, fmt.Errorf("loadutil: %s is not an export file", path)
+	}
+	if _, err := readString(br); err != nil { // source table name (informational)
+		return 0, err
+	}
+	sig, err := readString(br)
+	if err != nil {
+		return 0, err
+	}
+	if sig != t.Schema.String() {
+		return 0, fmt.Errorf("loadutil: schema mismatch: export has %s, table %s has %s",
+			sig, table, t.Schema)
+	}
+
+	// Stage records into internal page images first; on overflow, drain
+	// the stage through the engine. The staging copy is the Import
+	// utility's extra I/O relative to the direct loader.
+	stageCap := opts.StagePages * 8192
+	stage := make([]byte, 0, stageCap)
+	var offsets []int
+
+	var n int64
+	tx := db.Begin()
+	rowsInTx := 0
+
+	drain := func() error {
+		start := 0
+		for _, end := range offsets {
+			tup, err := catalog.DecodeTuple(t.Schema, stage[start:end])
+			if err != nil {
+				return err
+			}
+			start = end
+			if err := db.InsertTuple(tx, table, tup); err != nil {
+				return err
+			}
+			n++
+			rowsInTx++
+			if rowsInTx >= opts.BatchRows {
+				if err := tx.Commit(); err != nil {
+					return err
+				}
+				tx = db.Begin()
+				rowsInTx = 0
+			}
+		}
+		stage = stage[:0]
+		offsets = offsets[:0]
+		return nil
+	}
+
+	for {
+		l, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			tx.Abort()
+			return n, err
+		}
+		rec := make([]byte, l)
+		if _, err := io.ReadFull(br, rec); err != nil {
+			tx.Abort()
+			return n, fmt.Errorf("loadutil: truncated export file: %w", err)
+		}
+		stage = append(stage, rec...)
+		offsets = append(offsets, len(stage))
+		if len(stage) >= stageCap {
+			if err := drain(); err != nil {
+				tx.Abort()
+				return n, err
+			}
+		}
+	}
+	if err := drain(); err != nil {
+		tx.Abort()
+		return n, err
+	}
+	if err := tx.Commit(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(lenBuf[:], uint64(len(s)))
+	if _, err := w.Write(lenBuf[:k]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	l, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, l)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

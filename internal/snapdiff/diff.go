@@ -1,0 +1,319 @@
+package snapdiff
+
+import (
+	"fmt"
+	"io"
+
+	"opdelta/internal/catalog"
+)
+
+// ChangeKind classifies one snapshot difference.
+type ChangeKind uint8
+
+// Difference kinds.
+const (
+	ChangeInsert ChangeKind = iota + 1
+	ChangeDelete
+	ChangeUpdate
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsert:
+		return "INSERT"
+	case ChangeDelete:
+		return "DELETE"
+	case ChangeUpdate:
+		return "UPDATE"
+	default:
+		return "?"
+	}
+}
+
+// Change is one row-level difference between two snapshots.
+type Change struct {
+	Kind   ChangeKind
+	Before catalog.Tuple // DELETE, UPDATE
+	After  catalog.Tuple // INSERT, UPDATE
+}
+
+// DiffSortMerge computes the exact differential between two key-sorted
+// snapshots with a single sequential pass over each (a sort-merge outer
+// join on the key column). Emits changes to fn in key order.
+func DiffSortMerge(oldPath, newPath string, schema *catalog.Schema, keyCol int, fn func(Change) error) error {
+	or, err := OpenReader(oldPath, schema)
+	if err != nil {
+		return err
+	}
+	defer or.Close()
+	nr, err := OpenReader(newPath, schema)
+	if err != nil {
+		return err
+	}
+	defer nr.Close()
+
+	next := func(r *Reader) (catalog.Tuple, bool, error) {
+		t, err := r.Next()
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return t, true, nil
+	}
+	o, oOK, err := next(or)
+	if err != nil {
+		return err
+	}
+	n, nOK, err := next(nr)
+	if err != nil {
+		return err
+	}
+	var prevKey catalog.Value
+	havePrev := false
+	checkOrder := func(k catalog.Value) error {
+		if havePrev {
+			c, err := catalog.Compare(prevKey, k)
+			if err != nil {
+				return err
+			}
+			if c > 0 {
+				return fmt.Errorf("snapdiff: snapshot not sorted by key (use the window algorithm)")
+			}
+		}
+		prevKey, havePrev = k, true
+		return nil
+	}
+	for oOK && nOK {
+		c, err := catalog.Compare(o[keyCol], n[keyCol])
+		if err != nil {
+			return err
+		}
+		switch {
+		case c < 0:
+			if err := checkOrder(o[keyCol]); err != nil {
+				return err
+			}
+			if err := fn(Change{Kind: ChangeDelete, Before: o}); err != nil {
+				return err
+			}
+			if o, oOK, err = next(or); err != nil {
+				return err
+			}
+		case c > 0:
+			if err := checkOrder(n[keyCol]); err != nil {
+				return err
+			}
+			if err := fn(Change{Kind: ChangeInsert, After: n}); err != nil {
+				return err
+			}
+			if n, nOK, err = next(nr); err != nil {
+				return err
+			}
+		default:
+			if err := checkOrder(o[keyCol]); err != nil {
+				return err
+			}
+			if !o.Equal(n) {
+				if err := fn(Change{Kind: ChangeUpdate, Before: o, After: n}); err != nil {
+					return err
+				}
+			}
+			if o, oOK, err = next(or); err != nil {
+				return err
+			}
+			if n, nOK, err = next(nr); err != nil {
+				return err
+			}
+		}
+	}
+	for oOK {
+		if err := fn(Change{Kind: ChangeDelete, Before: o}); err != nil {
+			return err
+		}
+		if o, oOK, err = next(or); err != nil {
+			return err
+		}
+	}
+	for nOK {
+		if err := fn(Change{Kind: ChangeInsert, After: n}); err != nil {
+			return err
+		}
+		if n, nOK, err = next(nr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiffWindow computes a differential between two snapshots in arbitrary
+// row order, after Labio & Garcia-Molina's window algorithm: both inputs
+// are consumed in lockstep while a window of at most windowRows
+// unmatched rows per side is retained, hashed by the key column. Rows
+// displaced farther than the window spill out unmatched and are
+// reported conservatively as a DELETE of the old image plus an INSERT
+// of the new image — semantically equivalent to the exact diff but
+// bulkier, which is the algorithm's documented trade-off. (A production
+// implementation writes spilled rows to temporary files; this one keeps
+// them in memory.)
+//
+// Matched updates stream to fn as they are found; spilled and leftover
+// rows are emitted at the end, all DELETEs before all INSERTs, so that
+// replaying the change stream in order always reconstructs the new
+// snapshot exactly.
+func DiffWindow(oldPath, newPath string, schema *catalog.Schema, keyCol, windowRows int, fn func(Change) error) error {
+	if windowRows < 1 {
+		windowRows = 1
+	}
+	or, err := OpenReader(oldPath, schema)
+	if err != nil {
+		return err
+	}
+	defer or.Close()
+	nr, err := OpenReader(newPath, schema)
+	if err != nil {
+		return err
+	}
+	defer nr.Close()
+
+	oldWin := newWindow(windowRows)
+	newWin := newWindow(windowRows)
+	var spillOld, spillNew []catalog.Tuple
+	keyOf := func(t catalog.Tuple) string { return t[keyCol].String() }
+
+	processOld := func(t catalog.Tuple) error {
+		k := keyOf(t)
+		if match, ok := newWin.take(k); ok {
+			if !t.Equal(match) {
+				return fn(Change{Kind: ChangeUpdate, Before: t, After: match})
+			}
+			return nil
+		}
+		if evicted, has := oldWin.add(k, t); has {
+			spillOld = append(spillOld, evicted)
+		}
+		return nil
+	}
+	processNew := func(t catalog.Tuple) error {
+		k := keyOf(t)
+		if match, ok := oldWin.take(k); ok {
+			if !match.Equal(t) {
+				return fn(Change{Kind: ChangeUpdate, Before: match, After: t})
+			}
+			return nil
+		}
+		if evicted, has := newWin.add(k, t); has {
+			spillNew = append(spillNew, evicted)
+		}
+		return nil
+	}
+
+	oDone, nDone := false, false
+	for !oDone || !nDone {
+		if !oDone {
+			t, err := or.Next()
+			if err == io.EOF {
+				oDone = true
+			} else if err != nil {
+				return err
+			} else if err := processOld(t); err != nil {
+				return err
+			}
+		}
+		if !nDone {
+			t, err := nr.Next()
+			if err == io.EOF {
+				nDone = true
+			} else if err != nil {
+				return err
+			} else if err := processNew(t); err != nil {
+				return err
+			}
+		}
+	}
+	// Unmatched rows: every old one is a DELETE, every new one an
+	// INSERT. Deletes go first so the stream replays correctly when a
+	// displaced key appears on both sides.
+	for _, t := range spillOld {
+		if err := fn(Change{Kind: ChangeDelete, Before: t}); err != nil {
+			return err
+		}
+	}
+	if err := oldWin.drain(func(t catalog.Tuple) error {
+		return fn(Change{Kind: ChangeDelete, Before: t})
+	}); err != nil {
+		return err
+	}
+	for _, t := range spillNew {
+		if err := fn(Change{Kind: ChangeInsert, After: t}); err != nil {
+			return err
+		}
+	}
+	return newWin.drain(func(t catalog.Tuple) error {
+		return fn(Change{Kind: ChangeInsert, After: t})
+	})
+}
+
+// window is a bounded set of unmatched rows keyed by the row key, with
+// FIFO eviction. Matched rows are removed by take; stale FIFO entries
+// (already taken) are skipped at eviction time.
+type window struct {
+	cap  int
+	rows map[string]catalog.Tuple
+	fifo []string
+}
+
+func newWindow(capacity int) *window {
+	return &window{cap: capacity, rows: make(map[string]catalog.Tuple, capacity)}
+}
+
+// take removes and returns the row with key k, if present.
+func (w *window) take(k string) (catalog.Tuple, bool) {
+	t, ok := w.rows[k]
+	if ok {
+		delete(w.rows, k)
+	}
+	return t, ok
+}
+
+// add inserts (k, t), evicting the oldest live row when full. Returns
+// the evicted row, if any. A duplicate key within one snapshot (not
+// expected when the key column is a true key) replaces the older row,
+// which is returned as evicted.
+func (w *window) add(k string, t catalog.Tuple) (catalog.Tuple, bool) {
+	if old, dup := w.rows[k]; dup {
+		w.rows[k] = t
+		return old, true
+	}
+	var evicted catalog.Tuple
+	has := false
+	if len(w.rows) >= w.cap {
+		for len(w.fifo) > 0 {
+			oldest := w.fifo[0]
+			w.fifo = w.fifo[1:]
+			if v, live := w.rows[oldest]; live {
+				delete(w.rows, oldest)
+				evicted, has = v, true
+				break
+			}
+		}
+	}
+	w.rows[k] = t
+	w.fifo = append(w.fifo, k)
+	return evicted, has
+}
+
+// drain calls fn for every remaining live row in FIFO order.
+func (w *window) drain(fn func(catalog.Tuple) error) error {
+	for _, k := range w.fifo {
+		if t, live := w.rows[k]; live {
+			delete(w.rows, k)
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,353 @@
+package snapdiff
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+)
+
+func openDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(t.TempDir(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func createParts(t *testing.T, db *engine.DB) *engine.Table {
+	t.Helper()
+	if _, err := db.Exec(nil, `CREATE TABLE parts (
+		part_id BIGINT NOT NULL, status VARCHAR, qty BIGINT
+	) PRIMARY KEY (part_id)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	db := openDB(t)
+	tbl := createParts(t, db)
+	for i := 0; i < 100; i++ {
+		db.Exec(nil, fmt.Sprintf(`INSERT INTO parts VALUES (%d, 's%d', %d)`, (i*37)%100, i, i))
+	}
+	path := filepath.Join(t.TempDir(), "s1.snap")
+	n, err := WriteSnapshot(db, "parts", path)
+	if err != nil || n != 100 {
+		t.Fatalf("snapshot: %d, %v", n, err)
+	}
+	r, err := OpenReader(path, tbl.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var prev int64 = -1
+	count := 0
+	for {
+		tup, err := r.Next()
+		if err != nil {
+			break
+		}
+		// Sorted by PK because the table has one.
+		if tup[0].Int() <= prev {
+			t.Fatalf("snapshot not sorted: %d after %d", tup[0].Int(), prev)
+		}
+		prev = tup[0].Int()
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("read %d tuples", count)
+	}
+}
+
+func TestOpenReaderRejectsGarbage(t *testing.T) {
+	db := openDB(t)
+	tbl := createParts(t, db)
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(path, tbl.Schema); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+// collectChanges materializes a diff for assertions.
+func collectChanges(t *testing.T, diff func(fn func(Change) error) error) []Change {
+	t.Helper()
+	var out []Change
+	if err := diff(func(c Change) error {
+		out = append(out, c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDiffSortMergeExact(t *testing.T) {
+	db := openDB(t)
+	createParts(t, db)
+	for i := 0; i < 50; i++ {
+		db.Exec(nil, fmt.Sprintf(`INSERT INTO parts VALUES (%d, 'old', %d)`, i, i))
+	}
+	dir := t.TempDir()
+	oldSnap := filepath.Join(dir, "old.snap")
+	if _, err := WriteSnapshot(db, "parts", oldSnap); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: delete 0-4, update 10-14, insert 100-102.
+	db.Exec(nil, `DELETE FROM parts WHERE part_id < 5`)
+	db.Exec(nil, `UPDATE parts SET status = 'new' WHERE part_id BETWEEN 10 AND 14`)
+	db.Exec(nil, `INSERT INTO parts VALUES (100, 'ins', 0), (101, 'ins', 0), (102, 'ins', 0)`)
+	newSnap := filepath.Join(dir, "new.snap")
+	if _, err := WriteSnapshot(db, "parts", newSnap); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("parts")
+	changes := collectChanges(t, func(fn func(Change) error) error {
+		return DiffSortMerge(oldSnap, newSnap, tbl.Schema, 0, fn)
+	})
+	counts := map[ChangeKind]int{}
+	for _, c := range changes {
+		counts[c.Kind]++
+	}
+	if counts[ChangeDelete] != 5 || counts[ChangeUpdate] != 5 || counts[ChangeInsert] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Updates carry both images.
+	for _, c := range changes {
+		if c.Kind == ChangeUpdate {
+			if c.Before[1].Str() != "old" || c.After[1].Str() != "new" {
+				t.Fatalf("update images wrong: %v -> %v", c.Before, c.After)
+			}
+		}
+	}
+}
+
+func TestDiffIdenticalSnapshotsIsEmpty(t *testing.T) {
+	db := openDB(t)
+	createParts(t, db)
+	for i := 0; i < 20; i++ {
+		db.Exec(nil, fmt.Sprintf(`INSERT INTO parts VALUES (%d, 's', 1)`, i))
+	}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.snap")
+	b := filepath.Join(dir, "b.snap")
+	WriteSnapshot(db, "parts", a)
+	WriteSnapshot(db, "parts", b)
+	tbl, _ := db.Table("parts")
+	if n := len(collectChanges(t, func(fn func(Change) error) error {
+		return DiffSortMerge(a, b, tbl.Schema, 0, fn)
+	})); n != 0 {
+		t.Fatalf("sort-merge: %d changes on identical snapshots", n)
+	}
+	if n := len(collectChanges(t, func(fn func(Change) error) error {
+		return DiffWindow(a, b, tbl.Schema, 0, 4, fn)
+	})); n != 0 {
+		t.Fatalf("window: %d changes on identical snapshots", n)
+	}
+}
+
+// applyChanges replays a diff onto a key->tuple map.
+func applyChanges(state map[string]catalog.Tuple, changes []Change, keyCol int) {
+	for _, c := range changes {
+		switch c.Kind {
+		case ChangeInsert:
+			state[c.After[keyCol].String()] = c.After
+		case ChangeDelete:
+			delete(state, c.Before[keyCol].String())
+		case ChangeUpdate:
+			delete(state, c.Before[keyCol].String())
+			state[c.After[keyCol].String()] = c.After
+		}
+	}
+}
+
+func snapshotToMap(t *testing.T, path string, schema *catalog.Schema, keyCol int) map[string]catalog.Tuple {
+	t.Helper()
+	r, err := OpenReader(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	out := map[string]catalog.Tuple{}
+	for {
+		tup, err := r.Next()
+		if err != nil {
+			return out
+		}
+		out[tup[keyCol].String()] = tup
+	}
+}
+
+func statesEqual(a, b map[string]catalog.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !v.Equal(b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickDiffAlgorithmsReconstructNewState: for random mutations,
+// applying either algorithm's changes to the old state must yield the
+// new state — for any window size, including pathologically small ones.
+func TestQuickDiffAlgorithmsReconstructNewState(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, err := engine.Open(t.TempDir(), engine.Options{})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		if _, err := db.Exec(nil, `CREATE TABLE parts (part_id BIGINT NOT NULL, status VARCHAR, qty BIGINT) PRIMARY KEY (part_id)`); err != nil {
+			return false
+		}
+		n := 30 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			db.Exec(nil, fmt.Sprintf(`INSERT INTO parts VALUES (%d, 'v%d', %d)`, i, r.Intn(5), i))
+		}
+		dir := t.TempDir()
+		oldSnap := filepath.Join(dir, "old.snap")
+		if _, err := WriteSnapshot(db, "parts", oldSnap); err != nil {
+			return false
+		}
+		// Random mutations.
+		for k := 0; k < 20; k++ {
+			switch r.Intn(3) {
+			case 0:
+				db.Exec(nil, fmt.Sprintf(`INSERT INTO parts VALUES (%d, 'ins', 0)`, 1000+r.Intn(50)))
+			case 1:
+				db.Exec(nil, fmt.Sprintf(`DELETE FROM parts WHERE part_id = %d`, r.Intn(n)))
+			case 2:
+				db.Exec(nil, fmt.Sprintf(`UPDATE parts SET status = 'u%d' WHERE part_id = %d`, k, r.Intn(n)))
+			}
+		}
+		newSnap := filepath.Join(dir, "new.snap")
+		if _, err := WriteSnapshot(db, "parts", newSnap); err != nil {
+			return false
+		}
+		tbl, _ := db.Table("parts")
+		oldState := snapshotToMap(t, oldSnap, tbl.Schema, 0)
+		newState := snapshotToMap(t, newSnap, tbl.Schema, 0)
+
+		// Sort-merge must be exact.
+		var sm []Change
+		if err := DiffSortMerge(oldSnap, newSnap, tbl.Schema, 0, func(c Change) error {
+			sm = append(sm, c)
+			return nil
+		}); err != nil {
+			return false
+		}
+		s1 := cloneState(oldState)
+		applyChanges(s1, sm, 0)
+		if !statesEqual(s1, newState) {
+			return false
+		}
+		// Window algorithm must reconstruct for any window size.
+		for _, w := range []int{1, 3, 1000} {
+			var wc []Change
+			if err := DiffWindow(oldSnap, newSnap, tbl.Schema, 0, w, func(c Change) error {
+				wc = append(wc, c)
+				return nil
+			}); err != nil {
+				return false
+			}
+			s2 := cloneState(oldState)
+			applyChanges(s2, wc, 0)
+			if !statesEqual(s2, newState) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cloneState(m map[string]catalog.Tuple) map[string]catalog.Tuple {
+	out := make(map[string]catalog.Tuple, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TestWindowTradeoff shows the documented behaviour: with a large
+// window the algorithm finds updates; with a tiny window displaced rows
+// degrade into delete+insert pairs but never produce a wrong state.
+func TestWindowTradeoff(t *testing.T) {
+	db := openDB(t)
+	createParts(t, db)
+	for i := 0; i < 60; i++ {
+		db.Exec(nil, fmt.Sprintf(`INSERT INTO parts VALUES (%d, 'x', %d)`, i, i))
+	}
+	dir := t.TempDir()
+	oldSnap := filepath.Join(dir, "o.snap")
+	WriteSnapshot(db, "parts", oldSnap)
+	db.Exec(nil, `UPDATE parts SET status = 'y' WHERE part_id = 30`)
+	newSnap := filepath.Join(dir, "n.snap")
+	WriteSnapshot(db, "parts", newSnap)
+	tbl, _ := db.Table("parts")
+
+	big := collectChanges(t, func(fn func(Change) error) error {
+		return DiffWindow(oldSnap, newSnap, tbl.Schema, 0, 100, fn)
+	})
+	if len(big) != 1 || big[0].Kind != ChangeUpdate {
+		t.Fatalf("big window: %v", big)
+	}
+	// Snapshots here are aligned (both sorted), so even window=1 pairs
+	// rows correctly; the trade-off shows with misaligned inputs, which
+	// the property test covers. Verify volume is never smaller than the
+	// exact diff.
+	small := collectChanges(t, func(fn func(Change) error) error {
+		return DiffWindow(oldSnap, newSnap, tbl.Schema, 0, 1, fn)
+	})
+	if len(small) < 1 {
+		t.Fatalf("small window lost the change entirely: %v", small)
+	}
+}
+
+func TestDiffSortMergeRejectsUnsorted(t *testing.T) {
+	// Build an unsorted snapshot by hand via a table without a PK.
+	db := openDB(t)
+	if _, err := db.Exec(nil, `CREATE TABLE nopk (id BIGINT, v VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	// Insert out of order; snapshot of a PK-less table preserves scan order.
+	db.Exec(nil, `INSERT INTO nopk VALUES (5, 'a'), (1, 'b'), (9, 'c'), (2, 'd')`)
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.snap")
+	WriteSnapshot(db, "nopk", a)
+	db.Exec(nil, `INSERT INTO nopk VALUES (7, 'e')`)
+	b := filepath.Join(dir, "b.snap")
+	WriteSnapshot(db, "nopk", b)
+	tbl, _ := db.Table("nopk")
+	err := DiffSortMerge(a, b, tbl.Schema, 0, func(Change) error { return nil })
+	if err == nil {
+		t.Fatal("unsorted snapshots must be rejected by sort-merge")
+	}
+	// The window algorithm handles them.
+	changes := collectChanges(t, func(fn func(Change) error) error {
+		return DiffWindow(a, b, tbl.Schema, 0, 10, fn)
+	})
+	if len(changes) != 1 || changes[0].Kind != ChangeInsert || changes[0].After[0].Int() != 7 {
+		t.Fatalf("window diff on unsorted = %v", changes)
+	}
+}

@@ -1,0 +1,360 @@
+// Package sqlmini implements the engine's small SQL dialect: CREATE
+// TABLE, INSERT, UPDATE, DELETE and SELECT with scalar expressions. The
+// dialect matters beyond query execution: an Op-Delta *is* the statement
+// text of an operation, so statements render back to canonical SQL
+// (String methods) and the parser/printer pair round-trips.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"opdelta/internal/catalog"
+)
+
+// Statement is any parsed statement.
+type Statement interface {
+	stmtNode()
+	// String renders the statement as canonical SQL re-parsable by this
+	// package.
+	String() string
+}
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    catalog.Type
+	NotNull bool
+}
+
+// CreateTable is CREATE TABLE name (cols...) [PRIMARY KEY (col)] [TIMESTAMP COLUMN (col)].
+type CreateTable struct {
+	Table        string
+	Cols         []ColumnDef
+	PrimaryKey   string // optional
+	TimestampCol string // optional: engine-maintained last-modified column
+}
+
+// Insert is INSERT INTO t [(cols)] VALUES (row), (row), ...
+type Insert struct {
+	Table   string
+	Columns []string // nil means full schema order
+	Rows    [][]Expr
+}
+
+// Assign is one SET clause item.
+type Assign struct {
+	Col   string
+	Value Expr
+}
+
+// Update is UPDATE t SET a=expr, ... [WHERE pred].
+type Update struct {
+	Table   string
+	Assigns []Assign
+	Where   Expr // nil means all rows
+}
+
+// Delete is DELETE FROM t [WHERE pred].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// AggFn is an aggregate function.
+type AggFn uint8
+
+// Aggregate functions.
+const (
+	AggInvalid AggFn = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling of the aggregate.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "?"
+	}
+}
+
+// AggSpec is one aggregate in a select list. Col is empty for COUNT(*).
+type AggSpec struct {
+	Fn  AggFn
+	Col string
+}
+
+// String renders the aggregate call.
+func (a AggSpec) String() string {
+	if a.Col == "" {
+		return a.Fn.String() + "(*)"
+	}
+	return a.Fn.String() + "(" + a.Col + ")"
+}
+
+// Select is SELECT cols|*|aggs FROM t [WHERE pred] [GROUP BY col]
+// [ORDER BY col [DESC]] [LIMIT n].
+type Select struct {
+	Table   string
+	Columns []string // nil means * (when Aggregates is also empty)
+	// Aggregates, when non-empty, makes this an aggregate query.
+	// Columns may then only name the GroupBy column.
+	Aggregates []AggSpec
+	Where      Expr
+	// GroupBy is the optional grouping column (aggregate queries only).
+	GroupBy string
+	// OrderBy is the optional ordering column (plain queries only).
+	OrderBy string
+	Desc    bool
+	// Limit bounds the result rows; 0 means no limit.
+	Limit int
+}
+
+func (*CreateTable) stmtNode() {}
+func (*Insert) stmtNode()      {}
+func (*Update) stmtNode()      {}
+func (*Delete) stmtNode()      {}
+func (*Select) stmtNode()      {}
+
+// String renders canonical SQL.
+func (s *CreateTable) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(s.Table)
+	b.WriteString(" (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	b.WriteByte(')')
+	if s.PrimaryKey != "" {
+		b.WriteString(" PRIMARY KEY (")
+		b.WriteString(s.PrimaryKey)
+		b.WriteByte(')')
+	}
+	if s.TimestampCol != "" {
+		b.WriteString(" TIMESTAMP COLUMN (")
+		b.WriteString(s.TimestampCol)
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func (s *Insert) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteByte(')')
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func (s *Update) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, a := range s.Assigns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Col)
+		b.WriteString(" = ")
+		b.WriteString(a.Value.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+
+func (s *Delete) String() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	var items []string
+	items = append(items, s.Columns...)
+	for _, a := range s.Aggregates {
+		items = append(items, a.String())
+	}
+	if len(items) == 0 {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(strings.Join(items, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if s.GroupBy != "" {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(s.GroupBy)
+	}
+	if s.OrderBy != "" {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(s.OrderBy)
+		if s.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// BinOp is a binary operator.
+type BinOp uint8
+
+// Binary operators, comparison then logical then arithmetic.
+const (
+	OpInvalid BinOp = iota
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	default:
+		return "?"
+	}
+}
+
+// Expr is any scalar expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val catalog.Value
+}
+
+// ColRef references a column by name.
+type ColRef struct {
+	Name string
+}
+
+// Binary applies op to two subexpressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// IsNull tests a column or expression for NULL-ness (IS [NOT] NULL).
+type IsNull struct {
+	Expr   Expr
+	Negate bool
+}
+
+func (*Literal) exprNode() {}
+func (*ColRef) exprNode()  {}
+func (*Binary) exprNode()  {}
+func (*IsNull) exprNode()  {}
+
+func (e *Literal) String() string { return e.Val.SQLLiteral() }
+func (e *ColRef) String() string  { return e.Name }
+
+func (e *Binary) String() string {
+	l, r := e.L.String(), e.R.String()
+	// Parenthesize nested binaries so the rendering is unambiguous
+	// regardless of precedence.
+	if _, ok := e.L.(*Binary); ok {
+		l = "(" + l + ")"
+	}
+	if _, ok := e.R.(*Binary); ok {
+		r = "(" + r + ")"
+	}
+	return l + " " + e.Op.String() + " " + r
+}
+
+func (e *IsNull) String() string {
+	if e.Negate {
+		return e.Expr.String() + " IS NOT NULL"
+	}
+	return e.Expr.String() + " IS NULL"
+}

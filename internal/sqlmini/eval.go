@@ -1,0 +1,227 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"opdelta/internal/catalog"
+)
+
+// Eval evaluates e against one row. Comparison with NULL yields NULL;
+// AND/OR follow Kleene three-valued logic. Truth is decided by
+// EvalPredicate, which maps NULL to false, matching SQL WHERE semantics.
+func Eval(e Expr, schema *catalog.Schema, row catalog.Tuple) (catalog.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColRef:
+		i, ok := schema.ColIndex(x.Name)
+		if !ok {
+			return catalog.Value{}, fmt.Errorf("sqlmini: unknown column %q", x.Name)
+		}
+		return row[i], nil
+	case *IsNull:
+		v, err := Eval(x.Expr, schema, row)
+		if err != nil {
+			return catalog.Value{}, err
+		}
+		return catalog.NewBool(v.IsNull() != x.Negate), nil
+	case *Binary:
+		return evalBinary(x, schema, row)
+	default:
+		return catalog.Value{}, fmt.Errorf("sqlmini: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *Binary, schema *catalog.Schema, row catalog.Tuple) (catalog.Value, error) {
+	// Kleene logic with short circuit where sound.
+	if x.Op == OpAnd || x.Op == OpOr {
+		l, err := Eval(x.L, schema, row)
+		if err != nil {
+			return catalog.Value{}, err
+		}
+		lt := truth(l)
+		if x.Op == OpAnd && lt == tvFalse {
+			return catalog.NewBool(false), nil
+		}
+		if x.Op == OpOr && lt == tvTrue {
+			return catalog.NewBool(true), nil
+		}
+		r, err := Eval(x.R, schema, row)
+		if err != nil {
+			return catalog.Value{}, err
+		}
+		rt := truth(r)
+		var out triVal
+		if x.Op == OpAnd {
+			out = andTV(lt, rt)
+		} else {
+			out = orTV(lt, rt)
+		}
+		if out == tvNull {
+			return catalog.NewNull(catalog.TypeBool), nil
+		}
+		return catalog.NewBool(out == tvTrue), nil
+	}
+
+	l, err := Eval(x.L, schema, row)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	r, err := Eval(x.R, schema, row)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	switch x.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if l.IsNull() || r.IsNull() {
+			return catalog.NewNull(catalog.TypeBool), nil
+		}
+		c, err := catalog.Compare(l, r)
+		if err != nil {
+			return catalog.Value{}, err
+		}
+		var b bool
+		switch x.Op {
+		case OpEq:
+			b = c == 0
+		case OpNe:
+			b = c != 0
+		case OpLt:
+			b = c < 0
+		case OpLe:
+			b = c <= 0
+		case OpGt:
+			b = c > 0
+		case OpGe:
+			b = c >= 0
+		}
+		return catalog.NewBool(b), nil
+	case OpAdd, OpSub, OpMul:
+		return evalArith(x.Op, l, r)
+	default:
+		return catalog.Value{}, fmt.Errorf("sqlmini: unknown operator %v", x.Op)
+	}
+}
+
+func evalArith(op BinOp, l, r catalog.Value) (catalog.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return catalog.NewNull(catalog.TypeInt64), nil
+	}
+	// String concatenation via + is supported for transformation rules.
+	if op == OpAdd && l.Type() == catalog.TypeString && r.Type() == catalog.TypeString {
+		return catalog.NewString(l.Str() + r.Str()), nil
+	}
+	lf, lInt, err := numeric(l)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	rf, rInt, err := numeric(r)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	if lInt && rInt {
+		a, b := int64(lf), int64(rf)
+		switch op {
+		case OpAdd:
+			return catalog.NewInt(a + b), nil
+		case OpSub:
+			return catalog.NewInt(a - b), nil
+		case OpMul:
+			return catalog.NewInt(a * b), nil
+		}
+	}
+	switch op {
+	case OpAdd:
+		return catalog.NewFloat(lf + rf), nil
+	case OpSub:
+		return catalog.NewFloat(lf - rf), nil
+	case OpMul:
+		return catalog.NewFloat(lf * rf), nil
+	}
+	return catalog.Value{}, fmt.Errorf("sqlmini: bad arithmetic op")
+}
+
+func numeric(v catalog.Value) (f float64, isInt bool, err error) {
+	switch v.Type() {
+	case catalog.TypeInt64:
+		return float64(v.Int()), true, nil
+	case catalog.TypeFloat64:
+		return v.Float(), false, nil
+	default:
+		return 0, false, fmt.Errorf("sqlmini: %s is not numeric", v.Type())
+	}
+}
+
+type triVal uint8
+
+const (
+	tvFalse triVal = iota
+	tvTrue
+	tvNull
+)
+
+func truth(v catalog.Value) triVal {
+	if v.IsNull() {
+		return tvNull
+	}
+	if v.Type() == catalog.TypeBool && v.Bool() {
+		return tvTrue
+	}
+	return tvFalse
+}
+
+func andTV(a, b triVal) triVal {
+	switch {
+	case a == tvFalse || b == tvFalse:
+		return tvFalse
+	case a == tvNull || b == tvNull:
+		return tvNull
+	default:
+		return tvTrue
+	}
+}
+
+func orTV(a, b triVal) triVal {
+	switch {
+	case a == tvTrue || b == tvTrue:
+		return tvTrue
+	case a == tvNull || b == tvNull:
+		return tvNull
+	default:
+		return tvFalse
+	}
+}
+
+// EvalPredicate evaluates e as a WHERE predicate: NULL and non-boolean
+// results are false.
+func EvalPredicate(e Expr, schema *catalog.Schema, row catalog.Tuple) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := Eval(e, schema, row)
+	if err != nil {
+		return false, err
+	}
+	return truth(v) == tvTrue, nil
+}
+
+// Columns returns the set of column names referenced anywhere in e.
+// Self-maintainability analysis uses this to decide whether an Op-Delta
+// statement touches view-relevant attributes.
+func Columns(e Expr) map[string]bool {
+	out := map[string]bool{}
+	collectCols(e, out)
+	return out
+}
+
+func collectCols(e Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case *ColRef:
+		out[x.Name] = true
+	case *Binary:
+		collectCols(x.L, out)
+		collectCols(x.R, out)
+	case *IsNull:
+		collectCols(x.Expr, out)
+	}
+}

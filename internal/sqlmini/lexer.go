@@ -1,0 +1,203 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString // 'quoted'
+	tokHex    // X'...'
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"TIMESTAMP": true, "COLUMN": true, "NOT": true, "NULL": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "WHERE": true,
+	"DELETE": true, "FROM": true, "SELECT": true,
+	"AND": true, "OR": true, "IS": true, "BETWEEN": true,
+	"TRUE": true, "FALSE": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"DESC": true, "ASC": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokString, s, start)
+		case (c == 'x' || c == 'X') && l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'':
+			l.pos++
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokHex, s, start)
+		case isIdentStart(c):
+			l.lexWord(start)
+		case c >= '0' && c <= '9':
+			l.lexNumber(start, false)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' && l.lastAllowsNegative():
+			l.pos++
+			l.lexNumber(start, true)
+		case c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber(start, false)
+		default:
+			sym, err := l.lexSymbol()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokSymbol, sym, start)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+// lastAllowsNegative reports whether a '-' here begins a negative number
+// literal rather than a binary minus: true at the start or after a
+// symbol or keyword (e.g. after '(', ',', '=', AND).
+func (l *lexer) lastAllowsNegative() bool {
+	if len(l.toks) == 0 {
+		return true
+	}
+	last := l.toks[len(l.toks)-1]
+	switch last.kind {
+	case tokSymbol:
+		return last.text != ")" // after ')' a '-' is subtraction
+	case tokKeyword:
+		return true
+	default:
+		return false
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.emit(tokKeyword, up, start)
+	} else {
+		l.emit(tokIdent, word, start)
+	}
+}
+
+func (l *lexer) lexNumber(start int, negPrefixed bool) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos+1 < len(l.src) &&
+			(l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-' || (l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9')):
+			seenExp = true
+			l.pos++
+			if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexString() (string, error) {
+	// l.pos is at the opening quote.
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sqlmini: unterminated string literal at %d", l.pos)
+}
+
+func (l *lexer) lexSymbol() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		if two == "!=" {
+			return "<>", nil
+		}
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '*', '+', '-':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sqlmini: unexpected character %q at %d", c, l.pos)
+}

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages of one heap file with LRU replacement. Pages
+// are pinned while in use; only unpinned pages are evictable. Dirty
+// pages are written back on eviction and on FlushAll.
+//
+// The pool is the knob behind the paper's Import-vs-Loader contrast:
+// Import funnels every record through pool frames (page fetch, pin,
+// dirty, evict-writeback) while the Loader packs pages in memory and
+// appends them with DiskManager.AppendPages.
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   *DiskManager
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // front = most recently used; elements are *frame
+
+	// beforeWrite, when set, runs before any dirty page reaches disk.
+	// The engine points it at the WAL flush so the write-ahead rule
+	// (log before page) holds across evictions and FlushAll.
+	beforeWrite func() error
+
+	hits, misses, evictions uint64
+}
+
+// SetBeforePageWrite installs fn to run before any dirty page write.
+// Must be called before the pool is shared across goroutines.
+func (b *BufferPool) SetBeforePageWrite(fn func() error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.beforeWrite = fn
+}
+
+func (b *BufferPool) writePageLocked(fr *frame) error {
+	if b.beforeWrite != nil {
+		if err := b.beforeWrite(); err != nil {
+			return err
+		}
+	}
+	return b.disk.WritePage(fr.id, &fr.page)
+}
+
+type frame struct {
+	id    PageID
+	page  Page
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// NewBufferPool creates a pool of capacity pages over disk. Capacity
+// must be at least 1.
+func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:   disk,
+		cap:    capacity,
+		frames: make(map[PageID]*frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// ErrPoolExhausted reports that every frame is pinned.
+var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// Fetch pins page id and returns its in-memory image. The caller must
+// Unpin it exactly once, marking it dirty if modified.
+func (b *BufferPool) Fetch(id PageID) (*Page, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fr, ok := b.frames[id]; ok {
+		fr.pins++
+		b.lru.MoveToFront(fr.elem)
+		b.hits++
+		return &fr.page, nil
+	}
+	b.misses++
+	fr, err := b.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.disk.ReadPage(id, &fr.page); err != nil {
+		// Roll the frame back out so the pool stays consistent.
+		b.lru.Remove(fr.elem)
+		delete(b.frames, id)
+		return nil, err
+	}
+	return &fr.page, nil
+}
+
+// NewPage allocates a fresh page on disk, pins it, and returns its ID
+// and image (already initialized as an empty slotted page).
+func (b *BufferPool) NewPage() (PageID, *Page, error) {
+	id, err := b.disk.Allocate()
+	if err != nil {
+		return InvalidPageID, nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fr, err := b.allocFrameLocked(id)
+	if err != nil {
+		return InvalidPageID, nil, err
+	}
+	fr.page.Init()
+	fr.dirty = true
+	return id, &fr.page, nil
+}
+
+// allocFrameLocked finds or evicts a frame for id and pins it once.
+func (b *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
+	if len(b.frames) >= b.cap {
+		if err := b.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{id: id, pins: 1}
+	fr.elem = b.lru.PushFront(fr)
+	b.frames[id] = fr
+	return fr, nil
+}
+
+func (b *BufferPool) evictLocked() error {
+	for e := b.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*frame)
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.dirty {
+			if err := b.writePageLocked(fr); err != nil {
+				return err
+			}
+		}
+		b.lru.Remove(e)
+		delete(b.frames, fr.id)
+		b.evictions++
+		return nil
+	}
+	return ErrPoolExhausted
+}
+
+// Unpin releases one pin on page id, recording whether the caller
+// modified the page.
+func (b *BufferPool) Unpin(id PageID, dirty bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fr, ok := b.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("storage: unpin of unfetched page %d", id))
+	}
+	if fr.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin underflow on page %d", id))
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// FlushAll writes every dirty page back to disk (pages stay cached).
+func (b *BufferPool) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, fr := range b.frames {
+		if fr.dirty {
+			if err := b.writePageLocked(fr); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// FlushPage writes one page back if it is cached and dirty.
+func (b *BufferPool) FlushPage(id PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fr, ok := b.frames[id]
+	if !ok || !fr.dirty {
+		return nil
+	}
+	if err := b.writePageLocked(fr); err != nil {
+		return err
+	}
+	fr.dirty = false
+	return nil
+}
+
+// PoolStats is a snapshot of cache behaviour counters.
+type PoolStats struct {
+	Hits, Misses, Evictions uint64
+	Cached                  int
+}
+
+// Stats returns a snapshot of cache counters.
+func (b *BufferPool) Stats() PoolStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return PoolStats{Hits: b.hits, Misses: b.misses, Evictions: b.evictions, Cached: len(b.frames)}
+}

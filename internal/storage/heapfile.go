@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RID addresses one record: a page and a slot within it.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID as page:slot.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// InvalidRID is a sentinel for "no record".
+var InvalidRID = RID{Page: InvalidPageID}
+
+// HeapFile stores variable-length records in slotted pages behind a
+// buffer pool. It tracks approximate per-page free space so inserts
+// don't scan the whole file. HeapFile is safe for concurrent use; record
+// level isolation is the transaction layer's job.
+type HeapFile struct {
+	mu   sync.Mutex
+	disk *DiskManager
+	pool *BufferPool
+	// freeHint maps pageID -> last observed free bytes. It is a hint:
+	// stale entries are corrected on the next insert attempt.
+	freeHint map[PageID]int
+	nlive    int64 // live record count (maintained, verified by tests)
+}
+
+// OpenHeapFile opens the heap file at path with a pool of poolPages
+// frames. On open it scans existing pages to rebuild the free-space map
+// and live count (heap files are rebuilt from WAL by recovery before
+// this point, so the scan sees a consistent image).
+func OpenHeapFile(path string, poolPages int) (*HeapFile, error) {
+	disk, err := OpenDiskManager(path)
+	if err != nil {
+		return nil, err
+	}
+	h := &HeapFile{
+		disk:     disk,
+		pool:     NewBufferPool(disk, poolPages),
+		freeHint: make(map[PageID]int),
+	}
+	n := disk.NumPages()
+	var p Page
+	for id := PageID(0); id < n; id++ {
+		if err := disk.ReadPage(id, &p); err != nil {
+			disk.Close()
+			return nil, err
+		}
+		h.freeHint[id] = p.FreeSpace()
+		p.LiveRecords(func(uint16, []byte) bool { h.nlive++; return true })
+	}
+	return h, nil
+}
+
+// Pool exposes the buffer pool for stats and flushing.
+func (h *HeapFile) Pool() *BufferPool { return h.pool }
+
+// Disk exposes the disk manager for stats and direct block loading.
+func (h *HeapFile) Disk() *DiskManager { return h.disk }
+
+// NumRecords returns the live record count.
+func (h *HeapFile) NumRecords() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nlive
+}
+
+// NumPages returns the allocated page count.
+func (h *HeapFile) NumPages() PageID { return h.disk.NumPages() }
+
+// Insert stores rec and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Try pages the hint claims can hold the record, newest first
+	// (recent pages are most likely still buffered).
+	n := h.disk.NumPages()
+	for id := n; id > 0; {
+		id--
+		if h.freeHint[id] < len(rec)+slotSize {
+			continue
+		}
+		rid, err := h.insertIntoLocked(id, rec)
+		if err == nil {
+			return rid, nil
+		}
+		if !errors.Is(err, ErrPageFull) {
+			return InvalidRID, err
+		}
+		// Hint was stale; fall through and keep looking.
+	}
+	// No page fits: allocate a new one.
+	id, page, err := h.pool.NewPage()
+	if err != nil {
+		return InvalidRID, err
+	}
+	slot, err := page.Insert(rec)
+	if err != nil {
+		h.pool.Unpin(id, true)
+		return InvalidRID, err
+	}
+	h.freeHint[id] = page.FreeSpace()
+	h.pool.Unpin(id, true)
+	h.nlive++
+	return RID{Page: id, Slot: slot}, nil
+}
+
+func (h *HeapFile) insertIntoLocked(id PageID, rec []byte) (RID, error) {
+	page, err := h.pool.Fetch(id)
+	if err != nil {
+		return InvalidRID, err
+	}
+	slot, err := page.Insert(rec)
+	if err != nil {
+		h.freeHint[id] = page.FreeSpace()
+		h.pool.Unpin(id, false)
+		return InvalidRID, err
+	}
+	h.freeHint[id] = page.FreeSpace()
+	h.pool.Unpin(id, true)
+	h.nlive++
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	page, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := page.Get(rid.Slot)
+	if err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	h.pool.Unpin(rid.Page, false)
+	return out, nil
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	page, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := page.Delete(rid.Slot); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return err
+	}
+	h.freeHint[rid.Page] = page.FreeSpace()
+	h.pool.Unpin(rid.Page, true)
+	h.nlive--
+	return nil
+}
+
+// Update replaces the record at rid. If the new image no longer fits in
+// its page the record is relocated and the new RID returned; callers
+// must treat the returned RID as authoritative.
+func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
+	h.mu.Lock()
+	page, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		h.mu.Unlock()
+		return InvalidRID, err
+	}
+	err = page.Update(rid.Slot, rec)
+	if err == nil {
+		h.freeHint[rid.Page] = page.FreeSpace()
+		h.pool.Unpin(rid.Page, true)
+		h.mu.Unlock()
+		return rid, nil
+	}
+	h.pool.Unpin(rid.Page, false)
+	if !errors.Is(err, ErrPageFull) {
+		h.mu.Unlock()
+		return InvalidRID, err
+	}
+	// Relocate: delete here, insert elsewhere. Do both under h.mu via
+	// the unlocked internals to keep the operation atomic w.r.t. other
+	// heap mutators.
+	page, err = h.pool.Fetch(rid.Page)
+	if err != nil {
+		h.mu.Unlock()
+		return InvalidRID, err
+	}
+	if err := page.Delete(rid.Slot); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		h.mu.Unlock()
+		return InvalidRID, err
+	}
+	h.freeHint[rid.Page] = page.FreeSpace()
+	h.pool.Unpin(rid.Page, true)
+	h.nlive--
+	h.mu.Unlock()
+
+	return h.Insert(rec)
+}
+
+// Scan iterates all live records in (page, slot) order, invoking fn with
+// the RID and record bytes (valid only during the call). Iteration stops
+// when fn returns false or on error.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) (bool, error)) error {
+	n := h.disk.NumPages()
+	for id := PageID(0); id < n; id++ {
+		page, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		var cont = true
+		var ferr error
+		page.LiveRecords(func(slot uint16, rec []byte) bool {
+			cont, ferr = fn(RID{Page: id, Slot: slot}, rec)
+			return cont && ferr == nil
+		})
+		h.pool.Unpin(id, false)
+		if ferr != nil {
+			return ferr
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// DirectLoad packs records into fresh pages in memory and appends them
+// to the file in large sequential writes, bypassing the buffer pool and
+// WAL. This models the "DBMS Loader" utility that "loads ASCII data
+// directly into database blocks". It returns the RIDs assigned, in input
+// order.
+func (h *HeapFile) DirectLoad(recs [][]byte) ([]RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	var pages []*Page
+	var slots [][]uint16
+	cur := &Page{}
+	cur.Init()
+	curSlots := []uint16{}
+	for _, rec := range recs {
+		slot, err := cur.Insert(rec)
+		if errors.Is(err, ErrPageFull) {
+			pages = append(pages, cur)
+			slots = append(slots, curSlots)
+			cur = &Page{}
+			cur.Init()
+			curSlots = nil
+			slot, err = cur.Insert(rec)
+		}
+		if err != nil {
+			return nil, err
+		}
+		curSlots = append(curSlots, slot)
+	}
+	pages = append(pages, cur)
+	slots = append(slots, curSlots)
+
+	first, err := h.disk.AppendPages(pages)
+	if err != nil {
+		return nil, err
+	}
+	rids := make([]RID, 0, len(recs))
+	for i, ss := range slots {
+		id := first + PageID(i)
+		h.freeHint[id] = pages[i].FreeSpace()
+		for _, s := range ss {
+			rids = append(rids, RID{Page: id, Slot: s})
+		}
+	}
+	h.nlive += int64(len(recs))
+	return rids, nil
+}
+
+// Flush writes all dirty pages and syncs the file.
+func (h *HeapFile) Flush() error {
+	if err := h.pool.FlushAll(); err != nil {
+		return err
+	}
+	return h.disk.Sync()
+}
+
+// Close flushes and closes the heap file.
+func (h *HeapFile) Close() error {
+	if err := h.pool.FlushAll(); err != nil {
+		h.disk.Close()
+		return err
+	}
+	return h.disk.Close()
+}

@@ -1,0 +1,242 @@
+// Package storage implements the on-disk layer of the engine: fixed-size
+// slotted pages, per-table heap files, a disk manager and an LRU buffer
+// pool. Everything above this package deals in catalog.Tuple; everything
+// in this package deals in raw record bytes.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page, chosen to match common DBMS
+// block sizes.
+const PageSize = 8192
+
+// PageID identifies a page within one heap file (zero-based).
+type PageID uint32
+
+// InvalidPageID is a sentinel for "no page".
+const InvalidPageID = PageID(^uint32(0))
+
+// Slotted page layout:
+//
+//	offset 0:  uint16 slot count
+//	offset 2:  uint16 free-space lower bound (end of slot directory)
+//	offset 4:  uint16 free-space upper bound (start of record data)
+//	offset 6:  uint16 reserved (alignment)
+//	offset 8:  slot directory, 4 bytes per slot: uint16 offset, uint16 length
+//	...
+//	free space
+//	...
+//	records, packed from the end of the page toward the front
+//
+// A slot with offset 0 is a tombstone: the record was deleted and the
+// slot may be reused. Record offset 0 can never be a real record because
+// the header occupies it.
+const (
+	pageHeaderSize = 8
+	slotSize       = 4
+)
+
+// ErrPageFull reports that the record does not fit in the page.
+var ErrPageFull = errors.New("storage: page full")
+
+// Page is a slotted page image. It is a raw byte array manipulated in
+// place so the buffer pool can hand out frames without copying.
+type Page [PageSize]byte
+
+// InitPage formats p as an empty slotted page.
+func (p *Page) Init() {
+	for i := range p {
+		p[i] = 0
+	}
+	p.setSlotCount(0)
+	p.setFreeLower(pageHeaderSize)
+	p.setFreeUpper(PageSize)
+}
+
+func (p *Page) slotCount() uint16     { return binary.LittleEndian.Uint16(p[0:2]) }
+func (p *Page) setSlotCount(n uint16) { binary.LittleEndian.PutUint16(p[0:2], n) }
+func (p *Page) freeLower() uint16     { return binary.LittleEndian.Uint16(p[2:4]) }
+func (p *Page) setFreeLower(n uint16) { binary.LittleEndian.PutUint16(p[2:4], n) }
+func (p *Page) freeUpper() uint16     { return binary.LittleEndian.Uint16(p[4:6]) }
+func (p *Page) setFreeUpper(n uint16) { binary.LittleEndian.PutUint16(p[4:6], n) }
+
+func (p *Page) slot(i uint16) (off, length uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p[base : base+2]), binary.LittleEndian.Uint16(p[base+2 : base+4])
+}
+
+func (p *Page) setSlot(i, off, length uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p[base:base+2], off)
+	binary.LittleEndian.PutUint16(p[base+2:base+4], length)
+}
+
+// NumSlots returns the number of slots ever allocated in the page,
+// including tombstones.
+func (p *Page) NumSlots() int { return int(p.slotCount()) }
+
+// FreeSpace returns the number of record bytes that can still be
+// inserted assuming a new slot is also needed.
+func (p *Page) FreeSpace() int {
+	free := int(p.freeUpper()) - int(p.freeLower()) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores rec in the page and returns its slot number. It reuses
+// a tombstoned slot when one exists. Returns ErrPageFull when rec does
+// not fit.
+func (p *Page) Insert(rec []byte) (uint16, error) {
+	if len(rec) == 0 {
+		return 0, errors.New("storage: empty record")
+	}
+	if len(rec) > PageSize-pageHeaderSize-slotSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	// Find a reusable tombstone first: reusing costs no directory growth.
+	slotNo := uint16(0)
+	reuse := false
+	n := p.slotCount()
+	for i := uint16(0); i < n; i++ {
+		if off, _ := p.slot(i); off == 0 {
+			slotNo, reuse = i, true
+			break
+		}
+	}
+	need := len(rec)
+	if !reuse {
+		need += slotSize
+	}
+	if int(p.freeUpper())-int(p.freeLower()) < need {
+		return 0, ErrPageFull
+	}
+	newUpper := p.freeUpper() - uint16(len(rec))
+	copy(p[newUpper:], rec)
+	p.setFreeUpper(newUpper)
+	if !reuse {
+		slotNo = n
+		p.setSlotCount(n + 1)
+		p.setFreeLower(p.freeLower() + slotSize)
+	}
+	p.setSlot(slotNo, newUpper, uint16(len(rec)))
+	return slotNo, nil
+}
+
+// ErrNoRecord reports access to a missing or deleted slot.
+var ErrNoRecord = errors.New("storage: no record at slot")
+
+// Get returns the record bytes stored at slot. The returned slice
+// aliases the page; callers must copy before the page is evicted.
+func (p *Page) Get(slot uint16) ([]byte, error) {
+	if slot >= p.slotCount() {
+		return nil, ErrNoRecord
+	}
+	off, length := p.slot(slot)
+	if off == 0 {
+		return nil, ErrNoRecord
+	}
+	return p[off : off+length], nil
+}
+
+// Delete tombstones the slot. The record bytes become dead space until
+// the page is compacted.
+func (p *Page) Delete(slot uint16) error {
+	if slot >= p.slotCount() {
+		return ErrNoRecord
+	}
+	off, _ := p.slot(slot)
+	if off == 0 {
+		return ErrNoRecord
+	}
+	p.setSlot(slot, 0, 0)
+	return nil
+}
+
+// Update replaces the record at slot. If the new record fits in the old
+// record's space it is updated in place; otherwise the page tries to
+// place it in free space (compacting if needed). Returns ErrPageFull if
+// the updated record cannot fit in this page at all; the caller then
+// relocates the record (delete + insert elsewhere).
+func (p *Page) Update(slot uint16, rec []byte) error {
+	if slot >= p.slotCount() {
+		return ErrNoRecord
+	}
+	off, length := p.slot(slot)
+	if off == 0 {
+		return ErrNoRecord
+	}
+	if len(rec) <= int(length) {
+		copy(p[off:], rec)
+		p.setSlot(slot, off, uint16(len(rec)))
+		return nil
+	}
+	// Try to append a fresh copy into free space.
+	if int(p.freeUpper())-int(p.freeLower()) >= len(rec) {
+		newUpper := p.freeUpper() - uint16(len(rec))
+		copy(p[newUpper:], rec)
+		p.setFreeUpper(newUpper)
+		p.setSlot(slot, newUpper, uint16(len(rec)))
+		return nil
+	}
+	// Compact dead space and retry once.
+	p.Compact()
+	if int(p.freeUpper())-int(p.freeLower()) >= len(rec) {
+		// The old record may have moved during compaction; tombstone it
+		// and place the new image.
+		newUpper := p.freeUpper() - uint16(len(rec))
+		copy(p[newUpper:], rec)
+		p.setFreeUpper(newUpper)
+		p.setSlot(slot, newUpper, uint16(len(rec)))
+		return nil
+	}
+	return ErrPageFull
+}
+
+// Compact rewrites live records contiguously at the end of the page,
+// reclaiming dead space left by deletes and in-place growth. Slot
+// numbers are preserved.
+func (p *Page) Compact() {
+	type live struct {
+		slot uint16
+		rec  []byte
+	}
+	n := p.slotCount()
+	lives := make([]live, 0, n)
+	for i := uint16(0); i < n; i++ {
+		off, length := p.slot(i)
+		if off == 0 {
+			continue
+		}
+		rec := make([]byte, length)
+		copy(rec, p[off:off+length])
+		lives = append(lives, live{i, rec})
+	}
+	upper := uint16(PageSize)
+	for _, l := range lives {
+		upper -= uint16(len(l.rec))
+		copy(p[upper:], l.rec)
+		p.setSlot(l.slot, upper, uint16(len(l.rec)))
+	}
+	p.setFreeUpper(upper)
+}
+
+// LiveRecords calls fn for every live (slot, record) pair in slot order.
+// The record slice aliases the page.
+func (p *Page) LiveRecords(fn func(slot uint16, rec []byte) bool) {
+	n := p.slotCount()
+	for i := uint16(0); i < n; i++ {
+		off, length := p.slot(i)
+		if off == 0 {
+			continue
+		}
+		if !fn(i, p[off:off+length]) {
+			return
+		}
+	}
+}

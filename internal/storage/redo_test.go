@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestPagePlaceAtGrowsDirectory(t *testing.T) {
+	var p Page
+	p.Init()
+	if err := p.PlaceAt(3, []byte("at-three")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := p.Get(3); err != nil || !bytes.Equal(got, []byte("at-three")) {
+		t.Fatalf("Get(3) = %q, %v", got, err)
+	}
+	// Slots 0-2 are tombstones.
+	for s := uint16(0); s < 3; s++ {
+		if _, err := p.Get(s); err == nil {
+			t.Fatalf("slot %d should be dead", s)
+		}
+	}
+	// Idempotent re-place.
+	if err := p.PlaceAt(3, []byte("at-three")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(3); !bytes.Equal(got, []byte("at-three")) {
+		t.Fatal("re-place corrupted record")
+	}
+	// Resurrect a tombstone.
+	if err := p.PlaceAt(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(1); !bytes.Equal(got, []byte("one")) {
+		t.Fatal("tombstone resurrection failed")
+	}
+}
+
+func TestHeapPlaceAtAllocatesMissingPages(t *testing.T) {
+	h, err := OpenHeapFile(filepath.Join(t.TempDir(), "r.heap"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rid := RID{Page: 2, Slot: 5}
+	if err := h.PlaceAt(rid, []byte("redone")); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPages() != 3 {
+		t.Fatalf("NumPages = %d, want 3", h.NumPages())
+	}
+	got, err := h.Get(rid)
+	if err != nil || !bytes.Equal(got, []byte("redone")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if h.NumRecords() != 1 {
+		t.Fatalf("NumRecords = %d", h.NumRecords())
+	}
+	// Idempotent.
+	if err := h.PlaceAt(rid, []byte("redone")); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumRecords() != 1 {
+		t.Fatalf("NumRecords after replay = %d", h.NumRecords())
+	}
+}
+
+func TestHeapDeleteIfLiveIdempotent(t *testing.T) {
+	h, err := OpenHeapFile(filepath.Join(t.TempDir(), "d.heap"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rid, _ := h.Insert([]byte("x"))
+	if err := h.DeleteIfLive(rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DeleteIfLive(rid); err != nil {
+		t.Fatal(err) // second time is a no-op
+	}
+	if err := h.DeleteIfLive(RID{Page: 99, Slot: 0}); err != nil {
+		t.Fatal(err) // unallocated page is a no-op
+	}
+	if h.NumRecords() != 0 {
+		t.Fatalf("NumRecords = %d", h.NumRecords())
+	}
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Queue is a file-backed at-least-once FIFO of byte messages. Producers
+// Append; consumers Next and then Ack the consumed prefix. Ack position
+// is persisted, so a crashed consumer re-reads from its last Ack —
+// at-least-once delivery, the guarantee the paper's "persistent queues"
+// transport provides.
+type Queue struct {
+	mu      sync.Mutex
+	dir     string
+	data    *os.File
+	readPos int64 // next unread offset (volatile cursor)
+	ackPos  int64 // durable consumer position
+}
+
+const (
+	queueDataFile = "queue.dat"
+	queueAckFile  = "queue.ack"
+)
+
+// OpenQueue opens (or creates) the queue in dir.
+func OpenQueue(dir string) (*Queue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, queueDataFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{dir: dir, data: f}
+	ackRaw, err := os.ReadFile(filepath.Join(dir, queueAckFile))
+	if err == nil && len(ackRaw) == 8 {
+		q.ackPos = int64(binary.LittleEndian.Uint64(ackRaw))
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		f.Close()
+		return nil, err
+	}
+	q.readPos = q.ackPos
+	return q, nil
+}
+
+var queueCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Append enqueues one message durably.
+func (q *Queue) Append(msg []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	frame := make([]byte, 8+len(msg))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(msg)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(msg, queueCRC))
+	copy(frame[8:], msg)
+	if _, err := q.data.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	if _, err := q.data.Write(frame); err != nil {
+		return err
+	}
+	return q.data.Sync()
+}
+
+// ErrEmpty reports that no unconsumed message is available.
+var ErrEmpty = errors.New("transport: queue empty")
+
+// Next returns the next unconsumed message without acknowledging it.
+// Repeated calls advance through the queue; Ack makes progress durable.
+func (q *Queue) Next() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var hdr [8]byte
+	n, err := q.data.ReadAt(hdr[:], q.readPos)
+	if err == io.EOF || (err == nil && n < 8) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, ErrEmpty
+	}
+	if err != nil {
+		return nil, err
+	}
+	l := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	msg := make([]byte, l)
+	if _, err := q.data.ReadAt(msg, q.readPos+8); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrEmpty // torn tail: producer crashed mid-append
+		}
+		return nil, err
+	}
+	if crc32.Checksum(msg, queueCRC) != want {
+		return nil, fmt.Errorf("transport: corrupt message at offset %d", q.readPos)
+	}
+	q.readPos += 8 + int64(l)
+	return msg, nil
+}
+
+// Ack durably records that every message returned by Next so far has
+// been processed.
+func (q *Queue) Ack() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(q.readPos))
+	tmp := filepath.Join(q.dir, queueAckFile+".tmp")
+	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(q.dir, queueAckFile)); err != nil {
+		return err
+	}
+	q.ackPos = q.readPos
+	return nil
+}
+
+// Reset rewinds the volatile cursor to the last durable Ack (what a
+// restarted consumer sees).
+func (q *Queue) Reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.readPos = q.ackPos
+}
+
+// Close releases the queue's file handle.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.data.Close()
+}
+
+// ShipFile copies the file at src to dst, charging the link for its
+// size — the paper's "ftp the differential file" transport.
+func ShipFile(link *Link, src, dst string) (int64, error) {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return 0, err
+	}
+	if link != nil {
+		link.Send(len(data))
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}

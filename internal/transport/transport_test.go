@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLinkChargesLatencyAndBandwidth(t *testing.T) {
+	var slept time.Duration
+	l := &Link{Latency: time.Millisecond, BandwidthBps: 1000, Sleep: func(d time.Duration) { slept += d }}
+	l.Send(500) // 1ms latency + 500ms transfer
+	want := time.Millisecond + 500*time.Millisecond
+	if slept != want {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	st := l.Stats()
+	if st.Messages != 1 || st.BytesSent != 500 || st.TimeCharged != want {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestZeroLinkIsFree(t *testing.T) {
+	var l Link
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			l.Send(1 << 20)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("zero link must not sleep")
+	}
+	if l.Stats().Messages != 1000 {
+		t.Fatalf("stats = %+v", l.Stats())
+	}
+}
+
+func TestLAN10MbShape(t *testing.T) {
+	l := LAN10Mb()
+	// 1 MB at 10 Mb/s is 0.8s of virtual transfer time.
+	c := l.cost(1_000_000)
+	if c < 700*time.Millisecond || c > 900*time.Millisecond {
+		t.Fatalf("1MB over 10Mb/s = %v", c)
+	}
+}
+
+func TestQueueFIFOAndAck(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for i := 0; i < 10; i++ {
+		if err := q.Append([]byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		msg, err := q.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("msg-%d", i); string(msg) != want {
+			t.Fatalf("msg = %q, want %q", msg, want)
+		}
+	}
+	if err := q.Ack(); err != nil {
+		t.Fatal(err)
+	}
+	// Unacked reads are replayed after Reset (consumer restart).
+	q.Next()
+	q.Next()
+	q.Reset()
+	msg, err := q.Next()
+	if err != nil || string(msg) != "msg-5" {
+		t.Fatalf("after reset: %q, %v", msg, err)
+	}
+}
+
+func TestQueueSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := OpenQueue(dir)
+	q.Append([]byte("a"))
+	q.Append([]byte("b"))
+	q.Append([]byte("c"))
+	q.Next()
+	q.Ack()
+	q.Close()
+
+	q2, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	msg, err := q2.Next()
+	if err != nil || string(msg) != "b" {
+		t.Fatalf("reopened Next = %q, %v (at-least-once from last ack)", msg, err)
+	}
+	q2.Next()
+	if _, err := q2.Next(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("drained queue: %v", err)
+	}
+}
+
+func TestQueueToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := OpenQueue(dir)
+	q.Append([]byte("whole"))
+	q.Close()
+	// Simulate a producer crash mid-append.
+	f, _ := os.OpenFile(filepath.Join(dir, queueDataFile), os.O_WRONLY|os.O_APPEND, 0)
+	f.Write([]byte{9, 0, 0, 0}) // claims 9 bytes, delivers none
+	f.Close()
+
+	q2, _ := OpenQueue(dir)
+	defer q2.Close()
+	msg, err := q2.Next()
+	if err != nil || string(msg) != "whole" {
+		t.Fatalf("first: %q, %v", msg, err)
+	}
+	if _, err := q2.Next(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("torn tail should read as empty, got %v", err)
+	}
+}
+
+func TestQueueDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := OpenQueue(dir)
+	q.Append([]byte("payload"))
+	q.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, queueDataFile))
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(filepath.Join(dir, queueDataFile), data, 0o644)
+
+	q2, _ := OpenQueue(dir)
+	defer q2.Close()
+	if _, err := q2.Next(); err == nil || errors.Is(err, ErrEmpty) {
+		t.Fatalf("corruption must surface an error, got %v", err)
+	}
+}
+
+func TestShipFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "delta.dat")
+	payload := bytes.Repeat([]byte("d"), 4096)
+	os.WriteFile(src, payload, 0o644)
+	var virt time.Duration
+	link := &Link{Latency: time.Millisecond, BandwidthBps: 1 << 20, Sleep: func(d time.Duration) { virt += d }}
+	dst := filepath.Join(dir, "staging", "delta.dat")
+	n, err := ShipFile(link, src, dst)
+	if err != nil || n != 4096 {
+		t.Fatalf("ship: %d, %v", n, err)
+	}
+	got, _ := os.ReadFile(dst)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("shipped file corrupted")
+	}
+	if virt == 0 {
+		t.Fatal("link not charged")
+	}
+}

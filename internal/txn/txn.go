@@ -1,0 +1,236 @@
+// Package txn provides transaction identity and table-granularity
+// locking for the engine. Locking is strict two-phase: transactions
+// acquire shared or exclusive table locks on demand, hold them until
+// commit or abort, and support shared-to-exclusive upgrade. Conflicts
+// wait with a timeout, so a deadlock surfaces as ErrLockTimeout rather
+// than a hang.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID identifies a transaction. IDs are strictly increasing within one
+// engine instance.
+type ID uint64
+
+// Manager allocates transaction IDs.
+type Manager struct {
+	next atomic.Uint64
+}
+
+// NewManager returns a Manager whose first transaction is firstID.
+// Recovery passes the highest txn ID found in the WAL so IDs never
+// repeat across restarts.
+func NewManager(firstID ID) *Manager {
+	m := &Manager{}
+	m.next.Store(uint64(firstID))
+	return m
+}
+
+// Begin allocates the next transaction ID.
+func (m *Manager) Begin() ID {
+	return ID(m.next.Add(1))
+}
+
+// LockMode is shared or exclusive.
+type LockMode uint8
+
+// Lock modes.
+const (
+	Shared LockMode = iota + 1
+	Exclusive
+)
+
+func (m LockMode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrLockTimeout reports a lock wait that exceeded the manager's
+// timeout, the usual symptom of a deadlock under table locking.
+var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
+
+// LockManager grants table locks to transactions.
+type LockManager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	timeout time.Duration
+	tables  map[string]*tableLock
+
+	waits, grants, timeouts uint64
+}
+
+type tableLock struct {
+	holders map[ID]LockMode // current grants
+	// queue holds waiting requests in arrival order. Grants respect the
+	// queue: a request may only jump ahead of earlier waiters it does
+	// not conflict with, so neither readers nor writers starve.
+	queue   []waiter
+	nextSeq uint64
+}
+
+type waiter struct {
+	seq  uint64
+	tx   ID
+	mode LockMode
+}
+
+// removeWaiter deletes the queue entry with the given seq.
+func (tl *tableLock) removeWaiter(seq uint64) {
+	for i, w := range tl.queue {
+		if w.seq == seq {
+			tl.queue = append(tl.queue[:i], tl.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// conflictsWithEarlier reports whether any waiter ahead of seq would be
+// bypassed unfairly by granting (tx, mode) now.
+func (tl *tableLock) conflictsWithEarlier(seq uint64, tx ID, mode LockMode) bool {
+	for _, w := range tl.queue {
+		if w.seq >= seq || w.tx == tx {
+			continue
+		}
+		if mode == Exclusive || w.mode == Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// NewLockManager creates a lock manager with the given wait timeout.
+// A zero timeout selects a generous default.
+func NewLockManager(timeout time.Duration) *LockManager {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	lm := &LockManager{timeout: timeout, tables: make(map[string]*tableLock)}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// Acquire grants tx a lock on table in the requested mode, blocking
+// while conflicting locks are held by other transactions. Re-acquiring
+// an already-held mode is a no-op; Shared->Exclusive upgrade is
+// supported and also waits for other holders to drain.
+func (lm *LockManager) Acquire(tx ID, table string, mode LockMode) error {
+	deadline := time.Now().Add(lm.timeout)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	tl := lm.tables[table]
+	if tl == nil {
+		tl = &tableLock{holders: make(map[ID]LockMode)}
+		lm.tables[table] = tl
+	}
+	tl.nextSeq++
+	seq := tl.nextSeq
+	queued := false
+	defer func() {
+		if queued {
+			tl.removeWaiter(seq)
+			// Our departure may unblock requests queued behind us.
+			lm.cond.Broadcast()
+		}
+	}()
+	for {
+		held := tl.holders[tx]
+		if held >= mode {
+			return nil // already sufficient
+		}
+		// A lock upgrade (holder of S wanting X) bypasses queue order:
+		// queued requests behind it cannot proceed until it releases,
+		// so making it wait for them would deadlock. Two concurrent
+		// upgraders still deadlock each other and surface as timeouts.
+		upgrade := held > 0
+		if lm.compatibleLocked(tl, tx, mode) &&
+			(upgrade || !tl.conflictsWithEarlier(seq, tx, mode)) {
+			tl.holders[tx] = mode
+			lm.grants++
+			return nil
+		}
+		if !queued && !upgrade {
+			queued = true
+			tl.queue = append(tl.queue, waiter{seq: seq, tx: tx, mode: mode})
+		}
+		lm.waits++
+		if !lm.waitUntilLocked(deadline) {
+			lm.timeouts++
+			return fmt.Errorf("%w: txn %d wants %s on %q", ErrLockTimeout, tx, mode, table)
+		}
+	}
+}
+
+// compatibleLocked reports whether tx may take mode on tl given other
+// holders.
+func (lm *LockManager) compatibleLocked(tl *tableLock, tx ID, mode LockMode) bool {
+	for holder, hmode := range tl.holders {
+		if holder == tx {
+			continue
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// waitUntilLocked waits on the manager condition until signaled or the
+// deadline passes; returns false on timeout. The condition variable has
+// no timed wait, so a timer goroutine broadcasts at the deadline.
+func (lm *LockManager) waitUntilLocked(deadline time.Time) bool {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	timer := time.AfterFunc(remaining, func() {
+		lm.mu.Lock()
+		lm.cond.Broadcast()
+		lm.mu.Unlock()
+	})
+	lm.cond.Wait() // releases lm.mu while waiting
+	timer.Stop()
+	return time.Now().Before(deadline)
+}
+
+// ReleaseAll drops every lock held by tx and wakes waiters.
+func (lm *LockManager) ReleaseAll(tx ID) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	// Entries are never removed from lm.tables: waiters hold pointers to
+	// them across Wait, and the table population is bounded by the
+	// schema anyway.
+	for _, tl := range lm.tables {
+		delete(tl.holders, tx)
+	}
+	lm.cond.Broadcast()
+}
+
+// Holding reports the mode tx holds on table (zero if none).
+func (lm *LockManager) Holding(tx ID, table string) LockMode {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if tl := lm.tables[table]; tl != nil {
+		return tl.holders[tx]
+	}
+	return 0
+}
+
+// LockStats is a snapshot of lock-manager counters.
+type LockStats struct {
+	Waits, Grants, Timeouts uint64
+}
+
+// Stats returns lock counters.
+func (lm *LockManager) Stats() LockStats {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return LockStats{Waits: lm.waits, Grants: lm.grants, Timeouts: lm.timeouts}
+}

@@ -1,0 +1,196 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestManagerIDsIncrease(t *testing.T) {
+	m := NewManager(100)
+	a, b := m.Begin(), m.Begin()
+	if a != 101 || b != 102 {
+		t.Fatalf("IDs = %d, %d", a, b)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	if err := lm.Acquire(1, "t", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "t", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if lm.Holding(1, "t") != Shared || lm.Holding(2, "t") != Shared {
+		t.Fatal("both transactions should hold S")
+	}
+}
+
+func TestExclusiveBlocksAndWakes(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	if err := lm.Acquire(1, "t", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := lm.Acquire(2, "t", Shared); err != nil {
+			t.Errorf("waiter: %v", err)
+			return
+		}
+		got.Store(true)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() {
+		t.Fatal("S granted while X held")
+	}
+	lm.ReleaseAll(1)
+	wg.Wait()
+	if !got.Load() {
+		t.Fatal("waiter never granted")
+	}
+}
+
+func TestReacquireAndUpgrade(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	if err := lm.Acquire(1, "t", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(1, "t", Shared); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := lm.Acquire(1, "t", Exclusive); err != nil {
+		t.Fatal(err) // sole holder upgrades immediately
+	}
+	if lm.Holding(1, "t") != Exclusive {
+		t.Fatal("upgrade not recorded")
+	}
+	// X then S request is already covered by X.
+	if err := lm.Acquire(1, "t", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if lm.Holding(1, "t") != Exclusive {
+		t.Fatal("downgrade must not happen")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	lm.Acquire(1, "t", Shared)
+	lm.Acquire(2, "t", Shared)
+	done := make(chan error, 1)
+	go func() { done <- lm.Acquire(1, "t", Exclusive) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while another reader holds S")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockTimeoutSurfacesDeadlock(t *testing.T) {
+	lm := NewLockManager(50 * time.Millisecond)
+	lm.Acquire(1, "a", Exclusive)
+	lm.Acquire(2, "b", Exclusive)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = lm.Acquire(1, "b", Exclusive) }()
+	go func() { defer wg.Done(); errs[1] = lm.Acquire(2, "a", Exclusive) }()
+	wg.Wait()
+	if !errors.Is(errs[0], ErrLockTimeout) && !errors.Is(errs[1], ErrLockTimeout) {
+		t.Fatalf("deadlock not detected: %v, %v", errs[0], errs[1])
+	}
+	if lm.Stats().Timeouts == 0 {
+		t.Fatal("timeout counter not bumped")
+	}
+}
+
+func TestReleaseAllDropsEverything(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	lm.Acquire(1, "a", Exclusive)
+	lm.Acquire(1, "b", Shared)
+	lm.ReleaseAll(1)
+	if lm.Holding(1, "a") != 0 || lm.Holding(1, "b") != 0 {
+		t.Fatal("locks survived ReleaseAll")
+	}
+	// Table entries are garbage-collected.
+	if err := lm.Acquire(2, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	lm := NewLockManager(10 * time.Second)
+	m := NewManager(0)
+	var counter int64 // protected by table "c" X lock
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				id := m.Begin()
+				if err := lm.Acquire(id, "c", Exclusive); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				counter++
+				lm.ReleaseAll(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 16*50 {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, 16*50)
+	}
+}
+
+func TestWriterNotStarvedByReaderStream(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// A relentless stream of short shared lockers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(base ID) {
+			defer wg.Done()
+			id := base
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id += 10
+				if err := lm.Acquire(id, "t", Shared); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				lm.ReleaseAll(id)
+			}
+		}(ID(r + 1))
+	}
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- lm.Acquire(1_000_000, "t", Exclusive) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer starved by reader stream")
+	}
+	lm.ReleaseAll(1_000_000)
+	close(stop)
+	wg.Wait()
+}

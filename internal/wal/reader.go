@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// Reader iterates records across the segments of a log directory in LSN
+// order. It tolerates a torn tail in the final segment (stops there) but
+// reports corruption elsewhere.
+type Reader struct {
+	dir     string
+	segs    []uint64
+	segPos  int
+	data    []byte
+	pos     int
+	started bool
+}
+
+// NewReader opens a reader over all segments in dir.
+func NewReader(dir string) (*Reader, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{dir: dir, segs: segs}, nil
+}
+
+// ErrEnd reports that the log is exhausted.
+var ErrEnd = errors.New("wal: end of log")
+
+// Next returns the next record, or ErrEnd when the log is exhausted.
+func (r *Reader) Next() (*Record, error) {
+	for {
+		if !r.started || r.pos >= len(r.data) {
+			if r.segPos >= len(r.segs) {
+				return nil, ErrEnd
+			}
+			data, err := os.ReadFile(filepath.Join(r.dir, segName(r.segs[r.segPos])))
+			if err != nil {
+				return nil, err
+			}
+			r.data = data
+			r.pos = 0
+			r.segPos++
+			r.started = true
+			continue
+		}
+		rec, n, err := Unframe(r.data[r.pos:])
+		if errors.Is(err, ErrTorn) {
+			if r.segPos >= len(r.segs) {
+				// Torn tail of the final segment: normal after a crash.
+				return nil, ErrEnd
+			}
+			// Corruption in a non-final segment is real damage.
+			return nil, err
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.pos += n
+		return rec, nil
+	}
+}
+
+// ReadAll collects every record in dir in LSN order. Convenience for
+// tests and small logs; extraction streams with Next instead.
+func ReadAll(dir string) ([]*Record, error) {
+	rd, err := NewReader(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Record
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, ErrEnd) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/sqlmini"
+)
+
+func TestPartRowIsExactly100Bytes(t *testing.T) {
+	schema := PartsSchema()
+	for _, id := range []int64{0, 1, 7, 12345, 9999999} {
+		row := PartRow(id, time.Unix(1, 0))
+		n, err := catalog.EncodedSize(schema, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != RecordBytes {
+			t.Fatalf("id %d encodes to %d bytes, want %d", id, n, RecordBytes)
+		}
+	}
+}
+
+func TestStatementsParse(t *testing.T) {
+	for _, s := range []string{
+		InsertStmt(10, 3),
+		DeleteStmt(5, 100),
+		UpdateStmt(5, 100, "rev1"),
+		ScanStatement(),
+	} {
+		if _, err := sqlmini.Parse(s); err != nil {
+			t.Errorf("%q does not parse: %v", s, err)
+		}
+	}
+	if !strings.Contains(InsertStmt(0, 2), "), (") {
+		t.Error("multi-row insert expected")
+	}
+}
+
+func TestPopulateAndDDL(t *testing.T) {
+	clock := NewClock()
+	db, err := engine.Open(t.TempDir(), engine.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := CreateParts(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := Populate(db, 12345); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("parts")
+	if tbl.NumRows() != 12345 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if !tbl.Schema.Equal(PartsSchema()) {
+		t.Fatal("PartsSchema out of sync with PartsDDL")
+	}
+	// Index rebuilt: statements work.
+	res, err := db.Exec(nil, UpdateStmt(100, 10, "touched"))
+	if err != nil || res.RowsAffected != 10 {
+		t.Fatalf("update: %v, %v", res, err)
+	}
+	res, err = db.Exec(nil, DeleteStmt(0, 5))
+	if err != nil || res.RowsAffected != 5 {
+		t.Fatalf("delete: %v, %v", res, err)
+	}
+	res, err = db.Exec(nil, InsertStmt(20000, 7))
+	if err != nil || res.RowsAffected != 7 {
+		t.Fatalf("insert: %v, %v", res, err)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock()
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		now := c.Now()
+		if !now.After(prev) {
+			t.Fatal("clock not monotonic")
+		}
+		prev = now
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := Rand("x"), Rand("x")
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("Rand not deterministic by name")
+		}
+	}
+}
+
+func TestScanVariantsSelectSameRows(t *testing.T) {
+	clock := NewClock()
+	db, err := engine.Open(t.TempDir(), engine.Options{Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	CreateParts(db)
+	Populate(db, 1000)
+	res, err := db.Exec(nil, UpdateStmtScan(100, 50, "m"))
+	if err != nil || res.RowsAffected != 50 {
+		t.Fatalf("scan update: %v, %v", res, err)
+	}
+	res, err = db.Exec(nil, DeleteStmtScan(100, 50))
+	if err != nil || res.RowsAffected != 50 {
+		t.Fatalf("scan delete: %v, %v", res, err)
+	}
+	if _, err := sqlmini.Parse(SingleInsertStmt(42)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package opdelta_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"opdelta"
+)
+
+// TestPublicAPIPipeline drives the whole system through the public
+// facade only: source DDL, op capture with hybrid analysis, value
+// capture, file shipping over a link and queue, and both integrators —
+// the integration test a downstream user's first afternoon looks like.
+func TestPublicAPIPipeline(t *testing.T) {
+	work := t.TempDir()
+
+	src, err := opdelta.Open(filepath.Join(work, "src"), opdelta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	const ddl = `CREATE TABLE parts (
+		part_id BIGINT NOT NULL, status VARCHAR, qty BIGINT, last_modified TIMESTAMP
+	) PRIMARY KEY (part_id) TIMESTAMP COLUMN (last_modified)`
+	if _, err := src.Exec(nil, ddl); err != nil {
+		t.Fatal(err)
+	}
+
+	// The warehouse will hold a slim projection view, so the analyzer
+	// demands before images for qty-predicated statements.
+	view := opdelta.ViewDef{
+		Name: "slim_parts", Source: "parts",
+		Project:  []string{"part_id", "status"},
+		SourcePK: "part_id", SourceTS: "last_modified",
+	}
+	oplog, err := opdelta.NewTableLog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := &opdelta.Capture{DB: src, Log: oplog, Analyzer: opdelta.NewAnalyzer(view)}
+
+	valueCap := &opdelta.TriggerCapture{DB: src, Table: "parts"}
+	if err := valueCap.Install(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		stmt := fmt.Sprintf(`INSERT INTO parts (part_id, status, qty) VALUES (%d, 'new', %d)`, i, i*10)
+		if _, err := capture.Exec(nil, stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := capture.Exec(nil, `UPDATE parts SET status = 'big' WHERE qty >= 150`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture.Exec(nil, `DELETE FROM parts WHERE qty < 30`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship ops over a metered link into a persistent queue.
+	table, err := src.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := oplog.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 22 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	queue, err := opdelta.OpenQueue(filepath.Join(work, "q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer queue.Close()
+	link := &opdelta.Link{Latency: time.Microsecond, Sleep: func(time.Duration) {}}
+	for _, op := range ops {
+		enc, err := op.Encode(nil, table.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		link.Send(len(enc))
+		if err := queue.Append(enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if link.Stats().Messages != 22 {
+		t.Fatalf("link messages = %d", link.Stats().Messages)
+	}
+
+	// Warehouse A: view-only deployment fed by ops from the queue.
+	whA, err := opdelta.Open(filepath.Join(work, "whA"), opdelta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whA.Close()
+	wa := opdelta.NewWarehouse(whA)
+	if _, err := wa.RegisterView(view, table.Schema, nil); err != nil {
+		t.Fatal(err)
+	}
+	var shipped []*opdelta.Op
+	for {
+		msg, err := queue.Next()
+		if err != nil {
+			break
+		}
+		op, _, err := opdelta.DecodeOp(msg, table.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipped = append(shipped, op)
+	}
+	if err := queue.Ack(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&opdelta.OpDeltaIntegrator{W: wa}).Apply(shipped); err != nil {
+		t.Fatal(err)
+	}
+	_, viewRows, err := whA.Query(nil, `SELECT part_id, status FROM slim_parts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viewRows) != 17 { // 20 inserted - 3 deleted (qty < 30: ids 0,1,2)
+		t.Fatalf("view rows = %d", len(viewRows))
+	}
+	big := 0
+	for _, r := range viewRows {
+		if r[1].Str() == "big" {
+			big++
+		}
+	}
+	if big != 5 { // qty >= 150: ids 15..19
+		t.Fatalf("big rows = %d", big)
+	}
+
+	// Warehouse B: full replica fed by value deltas.
+	var deltas opdelta.CollectSink
+	if _, err := valueCap.Extract(&deltas); err != nil {
+		t.Fatal(err)
+	}
+	whB, err := opdelta.Open(filepath.Join(work, "whB"), opdelta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whB.Close()
+	wb := opdelta.NewWarehouse(whB)
+	if err := wb.RegisterReplica("parts", table.Schema, "part_id", "last_modified"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&opdelta.ValueDeltaIntegrator{W: wb}).Apply(deltas.Deltas); err != nil {
+		t.Fatal(err)
+	}
+	_, srcRows, _ := src.Query(nil, `SELECT * FROM parts`)
+	_, whRows, _ := whB.Query(nil, `SELECT * FROM parts`)
+	if len(srcRows) != len(whRows) || len(whRows) != 17 {
+		t.Fatalf("replica rows = %d, source = %d", len(whRows), len(srcRows))
+	}
+}
+
+// TestFacadeUtilities exercises the dump/load and snapshot surface of
+// the public API.
+func TestFacadeUtilities(t *testing.T) {
+	work := t.TempDir()
+	db, err := opdelta.Open(filepath.Join(work, "db"), opdelta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	schema := opdelta.NewSchema(
+		opdelta.Column{Name: "id", Type: opdelta.TypeInt64, NotNull: true},
+		opdelta.Column{Name: "name", Type: opdelta.TypeString},
+	)
+	if _, err := db.CreateTable(opdelta.TableDef{Name: "t", Schema: schema, PrimaryKey: "id"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.InsertTuple(nil, "t", opdelta.Tuple{
+			opdelta.NewInt(int64(i)), opdelta.NewString(fmt.Sprintf("n%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exp := filepath.Join(work, "t.exp")
+	if n, err := opdelta.Export(db, "t", exp); err != nil || n != 50 {
+		t.Fatalf("export: %d, %v", n, err)
+	}
+	tsv := filepath.Join(work, "t.tsv")
+	if n, err := opdelta.ASCIIDump(db, "t", tsv); err != nil || n != 50 {
+		t.Fatalf("dump: %d, %v", n, err)
+	}
+
+	dst, err := opdelta.Open(filepath.Join(work, "dst"), opdelta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if _, err := dst.CreateTable(opdelta.TableDef{Name: "t", Schema: schema, PrimaryKey: "id"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := opdelta.Import(dst, "t", exp, opdelta.ImportOptions{}); err != nil || n != 50 {
+		t.Fatalf("import: %d, %v", n, err)
+	}
+
+	// Snapshots through the facade.
+	s1 := filepath.Join(work, "s1.snap")
+	s2 := filepath.Join(work, "s2.snap")
+	if _, err := opdelta.WriteSnapshot(db, "t", s1); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(nil, `DELETE FROM t WHERE id = 7`)
+	if _, err := opdelta.WriteSnapshot(db, "t", s2); err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	if err := opdelta.DiffSortMerge(s1, s2, schema, 0, func(c opdelta.SnapshotChange) error {
+		changes++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if changes != 1 {
+		t.Fatalf("changes = %d", changes)
+	}
+}
