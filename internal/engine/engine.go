@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"opdelta/internal/catalog"
+	"opdelta/internal/fault"
 	"opdelta/internal/storage"
 	"opdelta/internal/txn"
 	"opdelta/internal/wal"
@@ -40,6 +41,10 @@ type Options struct {
 	Now func() time.Time
 	// LockTimeout bounds lock waits. Default 10s.
 	LockTimeout time.Duration
+	// FS routes all engine file I/O (heap files, WAL, catalog); nil
+	// means the real filesystem. The fault-injection harness substitutes
+	// a fault.SimFS here to crash and recover the whole engine in-process.
+	FS fault.FS
 }
 
 func (o *Options) fill() {
@@ -55,6 +60,7 @@ func (o *Options) fill() {
 type DB struct {
 	dir  string
 	opts Options
+	fs   fault.FS
 
 	wal   *wal.Writer
 	locks *txn.LockManager
@@ -105,10 +111,11 @@ type colMeta struct {
 // recovery from the WAL, and rebuilds in-memory indexes.
 func Open(dir string, opts Options) (*DB, error) {
 	opts.fill()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := fault.OrOS(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	wopts := wal.Options{Sync: opts.WALSync, SegmentSize: opts.WALSegmentSize}
+	wopts := wal.Options{Sync: opts.WALSync, SegmentSize: opts.WALSegmentSize, FS: fsys}
 	if opts.Archive {
 		wopts.ArchiveDir = filepath.Join(dir, "archive")
 	}
@@ -119,6 +126,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	db := &DB{
 		dir:    dir,
 		opts:   opts,
+		fs:     fsys,
 		wal:    w,
 		locks:  txn.NewLockManager(opts.LockTimeout),
 		tables: make(map[string]*Table),
@@ -163,7 +171,7 @@ func (db *DB) Now() time.Time { return db.opts.Now() }
 func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
 
 func (db *DB) loadCatalog() error {
-	data, err := os.ReadFile(db.catalogPath())
+	data, err := db.fs.ReadFile(db.catalogPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -204,11 +212,25 @@ func (db *DB) saveCatalogLocked() error {
 	if err != nil {
 		return err
 	}
+	// Temp file + fsync + rename: the fsync must precede the rename or a
+	// power loss can publish an empty catalog under the final name.
 	tmp := db.catalogPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := db.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, db.catalogPath())
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return db.fs.Rename(tmp, db.catalogPath())
 }
 
 func (db *DB) openTable(m tableMeta) (*Table, error) {
@@ -248,13 +270,20 @@ func (db *DB) openTable(m tableMeta) (*Table, error) {
 		}
 		t.sec = append(t.sec, &secIndex{col: i, tree: newBtree()})
 	}
-	heap, err := storage.OpenHeapFile(filepath.Join(db.dir, strings.ToLower(m.Name)+".heap"), db.opts.PoolPages)
+	heap, err := storage.OpenHeapFileFS(db.fs, filepath.Join(db.dir, strings.ToLower(m.Name)+".heap"), db.opts.PoolPages)
 	if err != nil {
 		return nil, err
 	}
-	// Enforce write-ahead ordering: the WAL reaches the OS before any
-	// dirty page does.
-	heap.Pool().SetBeforePageWrite(db.wal.Flush)
+	// Enforce write-ahead ordering before any dirty page reaches its
+	// file. At SyncFull the barrier must be a real fsync: a flush only
+	// reaches the OS, so a power loss after the page write but before the
+	// next WAL sync could leave a page whose log records never became
+	// durable — exactly the ordering violation WAL exists to prevent.
+	if db.opts.WALSync == wal.SyncFull {
+		heap.Pool().SetBeforePageWrite(db.wal.Sync)
+	} else {
+		heap.Pool().SetBeforePageWrite(db.wal.Flush)
+	}
 	t.heap = heap
 	return t, nil
 }
@@ -332,7 +361,7 @@ func (db *DB) DropTable(name string) error {
 		return err
 	}
 	delete(db.tables, key)
-	if err := os.Remove(filepath.Join(db.dir, key+".heap")); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := db.fs.Remove(filepath.Join(db.dir, key+".heap")); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
 	return db.saveCatalogLocked()

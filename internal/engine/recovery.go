@@ -30,7 +30,7 @@ import (
 //
 // It returns the highest transaction ID seen so new IDs never collide.
 func (db *DB) recover() (uint64, error) {
-	recs, err := wal.ReadAll(db.WALDir())
+	recs, err := wal.ReadAllFS(db.fs, db.WALDir())
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,209 @@
+package extract
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/loadutil"
+)
+
+func lineSchema() *catalog.Schema {
+	return catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.TypeInt64},
+		catalog.Column{Name: "f", Type: catalog.TypeFloat64},
+		catalog.Column{Name: "s", Type: catalog.TypeString},
+		catalog.Column{Name: "b", Type: catalog.TypeBytes},
+		catalog.Column{Name: "ts", Type: catalog.TypeTime},
+		catalog.Column{Name: "ok", Type: catalog.TypeBool},
+	)
+}
+
+func randLineString(r *rand.Rand, n int) string {
+	alphabet := []rune("xyz \t\n\r\\é")
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// randImage returns a random tuple, or nil: FormatDeltaLine renders an
+// absent image as all-NULL columns, which ParseDeltaLine maps back to
+// nil — so a generated image that happens to be all-NULL is normalized
+// to nil before comparison.
+func randImage(r *rand.Rand, s *catalog.Schema) catalog.Tuple {
+	if r.Intn(4) == 0 {
+		return nil
+	}
+	tup := make(catalog.Tuple, s.NumColumns())
+	allNull := true
+	for i := range tup {
+		typ := s.Column(i).Type
+		if r.Intn(4) == 0 {
+			tup[i] = catalog.NewNull(typ)
+			continue
+		}
+		allNull = false
+		switch typ {
+		case catalog.TypeInt64:
+			tup[i] = catalog.NewInt(int64(r.Uint64()))
+		case catalog.TypeFloat64:
+			tup[i] = catalog.NewFloat(r.NormFloat64() * math.Pow(10, float64(r.Intn(30)-15)))
+		case catalog.TypeString:
+			tup[i] = catalog.NewString(randLineString(r, r.Intn(60)))
+		case catalog.TypeBytes:
+			b := make([]byte, r.Intn(60))
+			r.Read(b)
+			tup[i] = catalog.NewBytes(b)
+		case catalog.TypeTime:
+			tup[i] = catalog.NewTime(time.Unix(0, r.Int63n(4e18)))
+		case catalog.TypeBool:
+			tup[i] = catalog.NewBool(r.Intn(2) == 1)
+		}
+	}
+	if allNull {
+		return nil
+	}
+	return tup
+}
+
+func imageEq(a, b catalog.Tuple) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Equal(b)
+}
+
+func randDelta(r *rand.Rand, s *catalog.Schema) Delta {
+	kinds := []Kind{KindInsert, KindDelete, KindUpdate, KindUpsert}
+	return Delta{
+		Kind:   kinds[r.Intn(len(kinds))],
+		Table:  "parts",
+		Txn:    r.Uint64(),
+		Seq:    r.Uint64(),
+		Before: randImage(r, s),
+		After:  randImage(r, s),
+	}
+}
+
+// TestDeltaLineRoundTripProperty: for any delta, ParseDeltaLine inverts
+// FormatDeltaLine exactly, and the rendered line never leaks a raw
+// newline, carriage return, or extra tab (the framing the differential
+// file depends on).
+func TestDeltaLineRoundTripProperty(t *testing.T) {
+	s := lineSchema()
+	r := rand.New(rand.NewSource(20260805))
+	for i := 0; i < 500; i++ {
+		in := randDelta(r, s)
+		line := FormatDeltaLine(in, s, loadutil.FormatValue)
+		if strings.ContainsAny(line, "\n\r") {
+			t.Fatalf("iter %d: raw line break leaked into delta line %q", i, line)
+		}
+		if got, want := strings.Count(line, "\t"), 3+2*s.NumColumns(); got != want {
+			t.Fatalf("iter %d: %d tabs in line, want %d", i, got, want)
+		}
+		out, err := ParseDeltaLine(line, s)
+		if err != nil {
+			t.Fatalf("iter %d: parse: %v\nline: %q", i, err, line)
+		}
+		if out.Kind != in.Kind || out.Table != in.Table || out.Txn != in.Txn || out.Seq != in.Seq {
+			t.Fatalf("iter %d: header mismatch: %+v vs %+v", i, in, out)
+		}
+		if !imageEq(in.Before, out.Before) || !imageEq(in.After, out.After) {
+			t.Fatalf("iter %d: image mismatch\nline: %q", i, line)
+		}
+	}
+}
+
+// TestDeltaLineNastyStrings pins the escaping edge cases: the NULL
+// sentinel as a literal string, embedded tabs/newlines/backslashes,
+// empty-vs-NULL distinction, and a max-length (64 KiB) string field.
+func TestDeltaLineNastyStrings(t *testing.T) {
+	s := lineSchema()
+	cases := []string{
+		"",
+		`\N`,
+		`\\N`,
+		"a\tb",
+		"line1\nline2",
+		"\r\n",
+		`back\slash`,
+		"ends with tab\t",
+		"\\",
+		"héllo\t世界",
+		strings.Repeat("x\t\\\n", 1<<14), // 64 KiB of escape-dense payload
+	}
+	for i, str := range cases {
+		in := Delta{
+			Kind: KindUpdate, Table: "parts", Txn: 7, Seq: uint64(i + 1),
+			Before: catalog.Tuple{
+				catalog.NewInt(int64(i)), catalog.NewNull(catalog.TypeFloat64),
+				catalog.NewString(str), catalog.NewNull(catalog.TypeBytes),
+				catalog.NewNull(catalog.TypeTime), catalog.NewNull(catalog.TypeBool),
+			},
+			After: nil,
+		}
+		line := FormatDeltaLine(in, s, loadutil.FormatValue)
+		out, err := ParseDeltaLine(line, s)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out.Before == nil || out.Before[2].IsNull() || out.Before[2].Str() != str {
+			t.Fatalf("case %d: string %q did not survive the round trip", i, str)
+		}
+		if out.After != nil {
+			t.Fatalf("case %d: absent after image came back non-nil", i)
+		}
+	}
+	// Empty string and NULL are different fields on the wire.
+	empty := loadutil.FormatValue(catalog.NewString(""))
+	null := loadutil.FormatValue(catalog.NewNull(catalog.TypeString))
+	if empty == null {
+		t.Fatalf("empty string and NULL render identically (%q)", empty)
+	}
+}
+
+// TestDeltaFileRoundTrip streams random deltas (including escape-dense
+// strings) through FileSink and reads them back with ReadDeltaFile.
+func TestDeltaFileRoundTrip(t *testing.T) {
+	s := lineSchema()
+	r := rand.New(rand.NewSource(11))
+	path := filepath.Join(t.TempDir(), "delta.diff")
+	sink, err := NewFileSink(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins []Delta
+	for i := 0; i < 64; i++ {
+		d := randDelta(r, s)
+		ins = append(ins, d)
+		if err := sink.Write(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.N() != int64(len(ins)) {
+		t.Fatalf("sink counted %d deltas, wrote %d", sink.N(), len(ins))
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := ReadDeltaFile(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(ins) {
+		t.Fatalf("read %d deltas, wrote %d", len(outs), len(ins))
+	}
+	for i := range ins {
+		in, out := ins[i], outs[i]
+		if out.Kind != in.Kind || out.Txn != in.Txn || out.Seq != in.Seq ||
+			!imageEq(in.Before, out.Before) || !imageEq(in.After, out.After) {
+			t.Fatalf("delta %d mismatch", i)
+		}
+	}
+}

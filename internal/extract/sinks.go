@@ -3,13 +3,13 @@ package extract
 import (
 	"bufio"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
+	"opdelta/internal/fault"
 	"opdelta/internal/loadutil"
 	"opdelta/internal/transport"
 )
@@ -19,15 +19,20 @@ import (
 // measures for timestamp extraction.
 type FileSink struct {
 	schema *catalog.Schema
-	f      *os.File
+	f      fault.File
 	bw     *bufio.Writer
-	n      int64
+	n      atomic.Int64
 }
 
 // NewFileSink creates the differential file at path for deltas of the
 // given source schema.
 func NewFileSink(path string, schema *catalog.Schema) (*FileSink, error) {
-	f, err := os.Create(path)
+	return NewFileSinkFS(fault.OS, path, schema)
+}
+
+// NewFileSinkFS is NewFileSink through an injectable filesystem.
+func NewFileSinkFS(fsys fault.FS, path string, schema *catalog.Schema) (*FileSink, error) {
+	f, err := fault.OrOS(fsys).Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -43,12 +48,12 @@ func (s *FileSink) Write(d Delta) error {
 	if err := s.bw.WriteByte('\n'); err != nil {
 		return err
 	}
-	s.n++
+	s.n.Add(1)
 	return nil
 }
 
 // N returns deltas written so far.
-func (s *FileSink) N() int64 { return s.n }
+func (s *FileSink) N() int64 { return s.n.Load() }
 
 // Close flushes and syncs the file.
 func (s *FileSink) Close() error {
@@ -63,9 +68,63 @@ func (s *FileSink) Close() error {
 	return s.f.Close()
 }
 
+// ParseDeltaLine parses one differential-file line produced by
+// FormatDeltaLine back into a Delta. It is the exact inverse used by
+// the round-trip property tests.
+func ParseDeltaLine(line string, schema *catalog.Schema) (Delta, error) {
+	ncols := schema.NumColumns()
+	fields := strings.Split(line, "\t")
+	if len(fields) != 4+2*ncols {
+		return Delta{}, fmt.Errorf("extract: delta line has %d fields, want %d", len(fields), 4+2*ncols)
+	}
+	kind, err := KindFromString(fields[0])
+	if err != nil {
+		return Delta{}, err
+	}
+	txn, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return Delta{}, fmt.Errorf("extract: bad txn %q", fields[1])
+	}
+	seq, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return Delta{}, fmt.Errorf("extract: bad seq %q", fields[2])
+	}
+	d := Delta{Kind: kind, Txn: txn, Seq: seq, Table: fields[3]}
+	parseImage := func(cols []string) (catalog.Tuple, error) {
+		allNull := true
+		tup := make(catalog.Tuple, ncols)
+		for i, fld := range cols {
+			v, err := loadutil.ParseValue(fld, schema.Column(i).Type)
+			if err != nil {
+				return nil, err
+			}
+			tup[i] = v
+			if !v.IsNull() {
+				allNull = false
+			}
+		}
+		if allNull {
+			return nil, nil
+		}
+		return tup, nil
+	}
+	if d.Before, err = parseImage(fields[4 : 4+ncols]); err != nil {
+		return Delta{}, err
+	}
+	if d.After, err = parseImage(fields[4+ncols:]); err != nil {
+		return Delta{}, err
+	}
+	return d, nil
+}
+
 // ReadDeltaFile parses a differential file written by FileSink.
 func ReadDeltaFile(path string, schema *catalog.Schema) ([]Delta, error) {
-	f, err := os.Open(path)
+	return ReadDeltaFileFS(fault.OS, path, schema)
+}
+
+// ReadDeltaFileFS is ReadDeltaFile through an injectable filesystem.
+func ReadDeltaFileFS(fsys fault.FS, path string, schema *catalog.Schema) ([]Delta, error) {
+	f, err := fault.OrOS(fsys).Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -73,51 +132,13 @@ func ReadDeltaFile(path string, schema *catalog.Schema) ([]Delta, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var out []Delta
-	ncols := schema.NumColumns()
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" {
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 4+2*ncols {
-			return nil, fmt.Errorf("extract: delta line has %d fields, want %d", len(fields), 4+2*ncols)
-		}
-		kind, err := KindFromString(fields[0])
+		d, err := ParseDeltaLine(line, schema)
 		if err != nil {
-			return nil, err
-		}
-		txn, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("extract: bad txn %q", fields[1])
-		}
-		seq, err := strconv.ParseUint(fields[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("extract: bad seq %q", fields[2])
-		}
-		d := Delta{Kind: kind, Txn: txn, Seq: seq, Table: fields[3]}
-		parseImage := func(cols []string) (catalog.Tuple, error) {
-			allNull := true
-			tup := make(catalog.Tuple, ncols)
-			for i, fld := range cols {
-				v, err := loadutil.ParseValue(fld, schema.Column(i).Type)
-				if err != nil {
-					return nil, err
-				}
-				tup[i] = v
-				if !v.IsNull() {
-					allNull = false
-				}
-			}
-			if allNull {
-				return nil, nil
-			}
-			return tup, nil
-		}
-		if d.Before, err = parseImage(fields[4 : 4+ncols]); err != nil {
-			return nil, err
-		}
-		if d.After, err = parseImage(fields[4+ncols:]); err != nil {
 			return nil, err
 		}
 		out = append(out, d)

@@ -2,6 +2,7 @@ package opdelta
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
@@ -23,8 +24,9 @@ type Capture struct {
 	// is captured (no before images ever).
 	Analyzer *Analyzer
 
-	// stats
-	captured, hybrids uint64
+	// stats; atomic because concurrent sessions capture through one
+	// shared Capture while monitors read Stats.
+	captured, hybrids atomic.Uint64
 }
 
 // Exec captures and then executes one statement. A nil tx runs the
@@ -60,7 +62,7 @@ func (c *Capture) ExecStmt(tx *engine.Tx, stmt sqlmini.Statement) (engine.Result
 		if err := c.Log.Append(tx, op); err != nil {
 			return engine.Result{}, fmt.Errorf("opdelta: capture: %w", err)
 		}
-		c.captured++
+		c.captured.Add(1)
 	}
 	return c.DB.ExecStmt(tx, stmt)
 }
@@ -103,7 +105,7 @@ func (c *Capture) buildOp(tx *engine.Tx, stmt sqlmini.Statement) (*Op, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.hybrids++
+		c.hybrids.Add(1)
 	}
 	return op, nil
 }
@@ -116,5 +118,5 @@ type CaptureStats struct {
 
 // Stats returns capture counters.
 func (c *Capture) Stats() CaptureStats {
-	return CaptureStats{Captured: c.captured, Hybrids: c.hybrids}
+	return CaptureStats{Captured: c.captured.Load(), Hybrids: c.hybrids.Load()}
 }

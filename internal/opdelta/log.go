@@ -11,6 +11,7 @@ import (
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
+	"opdelta/internal/fault"
 )
 
 // Log stores captured ops. Two implementations mirror the paper's §4.2
@@ -244,8 +245,9 @@ func sortOps(ops []*Op) {
 // faster.
 type FileLog struct {
 	mu   sync.Mutex
+	fs   fault.FS
 	path string
-	f    *os.File
+	f    fault.File
 	bw   *bufio.Writer
 	seq  atomic.Uint64
 	// SchemaOf resolves the schema used to encode hybrid before images;
@@ -259,11 +261,17 @@ type FileLog struct {
 
 // NewFileLog opens (appending to) the op log file at path.
 func NewFileLog(path string, schemaOf func(table string) (*catalog.Schema, error)) (*FileLog, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return NewFileLogFS(fault.OS, path, schemaOf)
+}
+
+// NewFileLogFS is NewFileLog through an injectable filesystem.
+func NewFileLogFS(fsys fault.FS, path string, schemaOf func(table string) (*catalog.Schema, error)) (*FileLog, error) {
+	fsys = fault.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	l := &FileLog{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16),
+	l := &FileLog{fs: fsys, path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16),
 		SchemaOf: schemaOf, pending: make(map[*engine.Tx][]*Op)}
 	// Resume the sequence after existing ops.
 	ops, err := l.Read(0)
@@ -356,7 +364,7 @@ func (l *FileLog) Read(fromSeq uint64) ([]*Op, error) {
 		}
 	}
 	l.mu.Unlock()
-	data, err := os.ReadFile(l.path)
+	data, err := l.fs.ReadFile(l.path)
 	if err != nil {
 		return nil, err
 	}
@@ -406,6 +414,9 @@ func (l *FileLog) decodeFrame(frame []byte) (*Op, int, error) {
 	}
 	return DecodeOp(frame, schema)
 }
+
+// Seq returns the last sequence number assigned (0 before any append).
+func (l *FileLog) Seq() uint64 { return l.seq.Load() }
 
 // Close flushes and closes the file.
 func (l *FileLog) Close() error {

@@ -1,0 +1,115 @@
+package opdelta
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"opdelta/internal/catalog"
+)
+
+// imageOfPrefixedSize builds a single parts before-image whose
+// uvarint-length-prefixed encoding (the unit TableLog chunks) is exactly
+// target bytes, by dialing the status string length.
+func imageOfPrefixedSize(t *testing.T, schema *catalog.Schema, target int) catalog.Tuple {
+	t.Helper()
+	mk := func(l int) catalog.Tuple {
+		return catalog.Tuple{
+			catalog.NewInt(1),
+			catalog.NewString(strings.Repeat("s", l)),
+			catalog.NewNull(catalog.TypeInt64),
+			catalog.NewNull(catalog.TypeTime),
+		}
+	}
+	prefixed := func(l int) int {
+		sz, err := catalog.EncodedSize(schema, mk(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(binary.AppendUvarint(nil, uint64(sz))) + sz
+	}
+	l := target
+	for i := 0; i < 20; i++ {
+		got := prefixed(l)
+		if got == target {
+			return mk(l)
+		}
+		l -= got - target
+		if l < 0 {
+			break
+		}
+	}
+	t.Fatalf("cannot hit prefixed size %d", target)
+	return nil
+}
+
+// TestTableLogChunkBoundary pins the continuation-row split at the
+// beforeChunk (~6 KiB) boundary exactly: payloads of beforeChunk-1,
+// beforeChunk, and 2*beforeChunk bytes fit in 1 and 2 rows, one byte
+// over each boundary adds a row, and every size round-trips intact
+// through Append/Read reassembly.
+func TestTableLogChunkBoundary(t *testing.T) {
+	db := openDB(t)
+	createParts(t, db)
+	tbl, err := db.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := NewTableLog(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		payload  int // total before-image bytes (prefixed encoding)
+		wantRows int
+	}{
+		{37, 1},
+		{beforeChunk - 1, 1},
+		{beforeChunk, 1},
+		{beforeChunk + 1, 2},
+		{2 * beforeChunk, 2},
+		{2*beforeChunk + 1, 3},
+	}
+	var lastSeq uint64
+	for _, c := range cases {
+		img := imageOfPrefixedSize(t, tbl.Schema, c.payload)
+		op := &Op{Txn: 9, Kind: OpDelete, Table: "parts",
+			Stmt: "DELETE FROM parts", Hybrid: true,
+			Time:   time.Date(2000, 3, 1, 0, 0, 0, 0, time.UTC),
+			Before: []catalog.Tuple{img}}
+		tx := db.Begin()
+		if err := log.Append(tx, op); err != nil {
+			t.Fatalf("payload %d: append: %v", c.payload, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		rows := 0
+		if err := db.ScanTable(nil, TableLogName, func(row catalog.Tuple) error {
+			if uint64(row[0].Int()) == op.Seq {
+				rows++
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if rows != c.wantRows {
+			t.Fatalf("payload %d: stored in %d rows, want %d", c.payload, rows, c.wantRows)
+		}
+
+		ops, err := log.Read(lastSeq)
+		if err != nil {
+			t.Fatalf("payload %d: read: %v", c.payload, err)
+		}
+		if len(ops) != 1 || ops[0].Seq != op.Seq {
+			t.Fatalf("payload %d: read %d ops", c.payload, len(ops))
+		}
+		if len(ops[0].Before) != 1 || !ops[0].Before[0].Equal(img) {
+			t.Fatalf("payload %d: before image did not survive chunked round trip", c.payload)
+		}
+		lastSeq = op.Seq
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -166,16 +167,25 @@ func (b *BufferPool) Unpin(id PageID, dirty bool) {
 }
 
 // FlushAll writes every dirty page back to disk (pages stay cached).
+// Pages are written in ascending ID order so the I/O sequence — and
+// with it any fault-injection schedule replayed against it — is
+// deterministic for a given workload.
 func (b *BufferPool) FlushAll() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for _, fr := range b.frames {
+	ids := make([]PageID, 0, len(b.frames))
+	for id, fr := range b.frames {
 		if fr.dirty {
-			if err := b.writePageLocked(fr); err != nil {
-				return err
-			}
-			fr.dirty = false
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fr := b.frames[id]
+		if err := b.writePageLocked(fr); err != nil {
+			return err
+		}
+		fr.dirty = false
 	}
 	return nil
 }

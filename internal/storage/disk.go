@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"opdelta/internal/fault"
 )
 
 // DiskManager reads and writes fixed-size pages of a single heap file.
@@ -11,16 +13,23 @@ import (
 // PageSize. DiskManager is safe for concurrent use.
 type DiskManager struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      fault.File
 	npages PageID
 	// Stats are plain counters guarded by mu; exposed for benchmarks to
 	// attribute I/O to code paths.
 	reads, writes, syncs uint64
 }
 
-// OpenDiskManager opens (creating if needed) the heap file at path.
+// OpenDiskManager opens (creating if needed) the heap file at path on
+// the real filesystem.
 func OpenDiskManager(path string) (*DiskManager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenDiskManagerFS(fault.OS, path)
+}
+
+// OpenDiskManagerFS opens the heap file at path through fsys, the
+// fault-injection seam used by crash-consistency tests.
+func OpenDiskManagerFS(fsys fault.FS, path string) (*DiskManager, error) {
+	f, err := fault.OrOS(fsys).OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"opdelta/internal/fault"
 )
 
 // RID addresses one record: a page and a slot within it.
@@ -37,7 +39,13 @@ type HeapFile struct {
 // and live count (heap files are rebuilt from WAL by recovery before
 // this point, so the scan sees a consistent image).
 func OpenHeapFile(path string, poolPages int) (*HeapFile, error) {
-	disk, err := OpenDiskManager(path)
+	return OpenHeapFileFS(fault.OS, path, poolPages)
+}
+
+// OpenHeapFileFS is OpenHeapFile with the file I/O routed through fsys
+// (the fault-injection seam).
+func OpenHeapFileFS(fsys fault.FS, path string, poolPages int) (*HeapFile, error) {
+	disk, err := OpenDiskManagerFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"opdelta/internal/fault"
 )
 
 // Queue is a file-backed at-least-once FIFO of byte messages. Producers
@@ -18,8 +20,9 @@ import (
 // transport provides.
 type Queue struct {
 	mu      sync.Mutex
+	fs      fault.FS
 	dir     string
-	data    *os.File
+	data    fault.File
 	readPos int64 // next unread offset (volatile cursor)
 	ackPos  int64 // durable consumer position
 }
@@ -31,15 +34,21 @@ const (
 
 // OpenQueue opens (or creates) the queue in dir.
 func OpenQueue(dir string) (*Queue, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenQueueFS(fault.OS, dir)
+}
+
+// OpenQueueFS is OpenQueue through an injectable filesystem.
+func OpenQueueFS(fsys fault.FS, dir string) (*Queue, error) {
+	fsys = fault.OrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, queueDataFile), os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, queueDataFile), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	q := &Queue{dir: dir, data: f}
-	ackRaw, err := os.ReadFile(filepath.Join(dir, queueAckFile))
+	q := &Queue{fs: fsys, dir: dir, data: f}
+	ackRaw, err := fsys.ReadFile(filepath.Join(dir, queueAckFile))
 	if err == nil && len(ackRaw) == 8 {
 		q.ackPos = int64(binary.LittleEndian.Uint64(ackRaw))
 	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -47,7 +56,35 @@ func OpenQueue(dir string) (*Queue, error) {
 		return nil, err
 	}
 	q.readPos = q.ackPos
+	// A producer crash can leave a torn frame at the tail. Readers stop
+	// there anyway, but a new producer would append *after* the torn
+	// bytes and corrupt the stream mid-file, so cut the tail back to the
+	// last complete frame before accepting appends.
+	if err := q.truncateTornTail(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return q, nil
+}
+
+// truncateTornTail trims queue.dat to its last complete frame boundary.
+func (q *Queue) truncateTornTail() error {
+	data, err := q.fs.ReadFile(filepath.Join(q.dir, queueDataFile))
+	if err != nil {
+		return err
+	}
+	valid := 0
+	for valid+8 <= len(data) {
+		l := int(binary.LittleEndian.Uint32(data[valid : valid+4]))
+		if valid+8+l > len(data) {
+			break
+		}
+		valid += 8 + l
+	}
+	if valid == len(data) {
+		return nil
+	}
+	return q.data.Truncate(int64(valid))
 }
 
 var queueCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -102,21 +139,62 @@ func (q *Queue) Next() ([]byte, error) {
 }
 
 // Ack durably records that every message returned by Next so far has
-// been processed.
+// been processed. The position is written to a temp file which is
+// fsynced *before* the rename: rename alone only journals metadata, so
+// without the fsync a power loss can publish an empty or torn ack file
+// under the final name.
 func (q *Queue) Ack() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	return q.ackLocked(true)
+}
+
+// ackLocked writes the ack position via temp file + rename. sync gates
+// the pre-rename fsync; production callers always pass true. The false
+// path survives only so the crash-consistency tests can demonstrate the
+// data-loss window the fsync closes.
+func (q *Queue) ackLocked(sync bool) error {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(q.readPos))
 	tmp := filepath.Join(q.dir, queueAckFile+".tmp")
-	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+	f, err := q.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(q.dir, queueAckFile)); err != nil {
+	if _, err := f.Write(buf[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := q.fs.Rename(tmp, filepath.Join(q.dir, queueAckFile)); err != nil {
 		return err
 	}
 	q.ackPos = q.readPos
 	return nil
+}
+
+// AckPos returns the durable consumer position (offset of the first
+// unacknowledged byte).
+func (q *Queue) AckPos() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ackPos
+}
+
+// ReadPos returns the volatile cursor: the offset the next Next will
+// read from, and the position the next Ack would persist.
+func (q *Queue) ReadPos() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.readPos
 }
 
 // Reset rewinds the volatile cursor to the last durable Ack (what a
@@ -137,17 +215,23 @@ func (q *Queue) Close() error {
 // ShipFile copies the file at src to dst, charging the link for its
 // size — the paper's "ftp the differential file" transport.
 func ShipFile(link *Link, src, dst string) (int64, error) {
-	data, err := os.ReadFile(src)
+	return ShipFileFS(fault.OS, link, src, dst)
+}
+
+// ShipFileFS is ShipFile through an injectable filesystem.
+func ShipFileFS(fsys fault.FS, link *Link, src, dst string) (int64, error) {
+	fsys = fault.OrOS(fsys)
+	data, err := fsys.ReadFile(src)
 	if err != nil {
 		return 0, err
 	}
 	if link != nil {
 		link.Send(len(data))
 	}
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return 0, err
 	}
-	if err := os.WriteFile(dst, data, 0o644); err != nil {
+	if err := fsys.WriteFile(dst, data, 0o644); err != nil {
 		return 0, err
 	}
 	return int64(len(data)), nil

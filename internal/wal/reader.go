@@ -2,14 +2,16 @@ package wal
 
 import (
 	"errors"
-	"os"
 	"path/filepath"
+
+	"opdelta/internal/fault"
 )
 
 // Reader iterates records across the segments of a log directory in LSN
 // order. It tolerates a torn tail in the final segment (stops there) but
 // reports corruption elsewhere.
 type Reader struct {
+	fs      fault.FS
 	dir     string
 	segs    []uint64
 	segPos  int
@@ -20,11 +22,17 @@ type Reader struct {
 
 // NewReader opens a reader over all segments in dir.
 func NewReader(dir string) (*Reader, error) {
-	segs, err := ListSegments(dir)
+	return NewReaderFS(fault.OS, dir)
+}
+
+// NewReaderFS is NewReader through an injectable filesystem.
+func NewReaderFS(fsys fault.FS, dir string) (*Reader, error) {
+	fsys = fault.OrOS(fsys)
+	segs, err := ListSegmentsFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{dir: dir, segs: segs}, nil
+	return &Reader{fs: fsys, dir: dir, segs: segs}, nil
 }
 
 // ErrEnd reports that the log is exhausted.
@@ -37,7 +45,7 @@ func (r *Reader) Next() (*Record, error) {
 			if r.segPos >= len(r.segs) {
 				return nil, ErrEnd
 			}
-			data, err := os.ReadFile(filepath.Join(r.dir, segName(r.segs[r.segPos])))
+			data, err := r.fs.ReadFile(filepath.Join(r.dir, segName(r.segs[r.segPos])))
 			if err != nil {
 				return nil, err
 			}
@@ -67,7 +75,12 @@ func (r *Reader) Next() (*Record, error) {
 // ReadAll collects every record in dir in LSN order. Convenience for
 // tests and small logs; extraction streams with Next instead.
 func ReadAll(dir string) ([]*Record, error) {
-	rd, err := NewReader(dir)
+	return ReadAllFS(fault.OS, dir)
+}
+
+// ReadAllFS is ReadAll through an injectable filesystem.
+func ReadAllFS(fsys fault.FS, dir string) ([]*Record, error) {
+	rd, err := NewReaderFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"opdelta/internal/fault"
 )
 
 // SyncPolicy controls durability of commits.
@@ -39,6 +41,9 @@ type Options struct {
 	// are copied there at rotation time (the paper's "archiving turned
 	// on": redo logs are not recycled and continue to accumulate).
 	ArchiveDir string
+	// FS routes all file I/O; nil means the real filesystem. The
+	// fault-injection harness substitutes a fault.SimFS here.
+	FS fault.FS
 }
 
 const segSuffix = ".seg"
@@ -59,7 +64,8 @@ type Writer struct {
 	mu      sync.Mutex
 	dir     string
 	opts    Options
-	f       *os.File
+	fs      fault.FS
+	f       fault.File
 	bw      *bufio.Writer
 	segIdx  uint64
 	segSize int64
@@ -75,36 +81,48 @@ func Open(dir string, opts Options) (*Writer, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = 16 << 20
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := fault.OrOS(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if opts.ArchiveDir != "" {
-		if err := os.MkdirAll(opts.ArchiveDir, 0o755); err != nil {
+		if err := fsys.MkdirAll(opts.ArchiveDir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	w := &Writer{dir: dir, opts: opts, nextLSN: 1}
-	segs, err := ListSegments(dir)
+	w := &Writer{dir: dir, opts: opts, fs: fsys, nextLSN: 1}
+	segs, err := ListSegmentsFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(segs) > 0 {
-		// Resume after the last valid record of the newest segment.
+		// Resume after the last valid record in the log. LSNs increase
+		// across segments, so the newest segment normally holds the max
+		// — but a crash can leave the newest segment empty or entirely
+		// torn (created, never synced), in which case we keep scanning
+		// backwards so the resumed LSN sequence never collides with
+		// records in older segments.
 		last := segs[len(segs)-1]
-		maxLSN, validLen, err := scanSegment(filepath.Join(dir, segName(last)))
+		_, validLen, err := scanSegment(fsys, filepath.Join(dir, segName(last)))
 		if err != nil {
 			return nil, err
 		}
-		if maxLSN >= w.nextLSN {
-			w.nextLSN = maxLSN + 1
+		for i := len(segs) - 1; i >= 0; i-- {
+			maxLSN, _, err := scanSegment(fsys, filepath.Join(dir, segName(segs[i])))
+			if err != nil {
+				return nil, err
+			}
+			if maxLSN > 0 {
+				w.nextLSN = maxLSN + 1
+				break
+			}
 		}
-		// Earlier segments may hold higher... no: LSNs increase across
-		// segments, the newest segment has the max. Truncate any torn tail.
-		if err := os.Truncate(filepath.Join(dir, segName(last)), validLen); err != nil {
+		// Truncate any torn tail of the newest segment.
+		if err := fsys.Truncate(filepath.Join(dir, segName(last)), validLen); err != nil {
 			return nil, err
 		}
 		w.segIdx = last
-		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +138,7 @@ func Open(dir string, opts Options) (*Writer, error) {
 }
 
 func (w *Writer) openSegmentLocked(idx uint64) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(idx)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, segName(idx)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -220,7 +238,7 @@ func (w *Writer) rotateLocked() error {
 	if w.opts.ArchiveDir != "" {
 		src := filepath.Join(w.dir, segName(closed))
 		dst := filepath.Join(w.opts.ArchiveDir, segName(closed))
-		if err := copyFile(src, dst); err != nil {
+		if err := copyFile(w.fs, src, dst); err != nil {
 			return fmt.Errorf("wal: archive segment %d: %w", closed, err)
 		}
 	}
@@ -243,13 +261,13 @@ func (w *Writer) Rotate() error {
 func (w *Writer) Recycle(keepFrom uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	segs, err := ListSegments(w.dir)
+	segs, err := ListSegmentsFS(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
 	for _, idx := range segs {
 		if idx < keepFrom && idx != w.segIdx {
-			if err := os.Remove(filepath.Join(w.dir, segName(idx))); err != nil {
+			if err := w.fs.Remove(filepath.Join(w.dir, segName(idx))); err != nil {
 				return err
 			}
 		}
@@ -303,7 +321,12 @@ func (w *Writer) Close() error {
 
 // ListSegments returns the segment indexes present in dir, ascending.
 func ListSegments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+	return ListSegmentsFS(fault.OS, dir)
+}
+
+// ListSegmentsFS is ListSegments through an injectable filesystem.
+func ListSegmentsFS(fsys fault.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -325,8 +348,8 @@ func SegmentPath(dir string, idx uint64) string { return filepath.Join(dir, segN
 
 // scanSegment returns the max LSN and the byte length of the valid
 // prefix of the segment at path.
-func scanSegment(path string) (LSN, int64, error) {
-	data, err := os.ReadFile(path)
+func scanSegment(fsys fault.FS, path string) (LSN, int64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -345,13 +368,13 @@ func scanSegment(path string) (LSN, int64, error) {
 	return max, int64(pos), nil
 }
 
-func copyFile(src, dst string) error {
-	in, err := os.Open(src)
+func copyFile(fsys fault.FS, src, dst string) error {
+	in, err := fsys.Open(src)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	out, err := fsys.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
