@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("e", "all", "experiment: all, t1, t2, t3, f2, f3, t4, e7, e8, e9, e10, a1..a5 (ablations)")
-		rows = flag.Int("rows", 0, "standing source-table rows (default 100000)")
-		full = flag.Bool("full", false, "paper-leaning scale: 1M-row table, deltas to 100MB, txns to 10k")
-		work = flag.String("work", "", "scratch directory (default: a temp dir, removed afterwards)")
+		exp      = flag.String("e", "all", "experiment: all, t1, t2, t3, f2, f3, t4, e7, e8, e9, e10, a1..a5 (ablations)")
+		rows     = flag.Int("rows", 0, "standing source-table rows (default 100000)")
+		full     = flag.Bool("full", false, "paper-leaning scale: 1M-row table, deltas to 100MB, txns to 10k")
+		work     = flag.String("work", "", "scratch directory (default: a temp dir, removed afterwards)")
+		jsonPath = flag.String("json", "", "also write the results to this path as machine-readable JSON")
 	)
 	flag.Parse()
 
@@ -111,6 +112,7 @@ func main() {
 
 	want := strings.ToLower(*exp)
 	ran := 0
+	var collected []*bench.Result
 	for _, r := range runners {
 		// Ablations (a*) run only when named explicitly or with -e ablations.
 		isAblation := strings.HasPrefix(r.ids[0], "a")
@@ -131,11 +133,17 @@ func main() {
 		for _, res := range results {
 			fmt.Println(res.Render())
 		}
+		collected = append(collected, results...)
 		fmt.Printf("  (%s in %s)\n\n", strings.Join(r.ids, "+"), time.Since(start).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown experiment %q (want all, ablations, t1, t2, t3, f2, f3, t4, e7..e10, a1..a4)", *exp))
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, collected); err != nil {
+			fatal(err)
+		}
 	}
 }
 

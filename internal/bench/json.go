@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// jsonCell is one (method, metric) measurement of one experiment.
+type jsonCell struct {
+	Method string  `json:"method"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// jsonResult is one experiment in machine-readable form: the labeled
+// grid flattened into cells so downstream tooling never has to parse
+// the rendered text tables.
+type jsonResult struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Unit  string     `json:"unit"`
+	Notes []string   `json:"notes,omitempty"`
+	Cells []jsonCell `json:"cells"`
+}
+
+// WriteJSON writes the results to path as an indented JSON array, one
+// object per experiment, mirroring exactly what Render prints.
+func WriteJSON(path string, results []*Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		jr := jsonResult{ID: r.ID, Title: r.Title, Unit: r.Unit, Notes: r.Notes}
+		for i, row := range r.RowHeads {
+			for j, col := range r.ColHeads {
+				jr.Cells = append(jr.Cells, jsonCell{Method: row, Metric: col, Value: r.Values[i][j]})
+			}
+		}
+		out = append(out, jr)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

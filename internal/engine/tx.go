@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/storage"
@@ -76,18 +77,34 @@ func (tx *Tx) finish() {
 
 // Commit makes the transaction's effects durable per the WAL sync
 // policy and releases its locks.
+//
+// Locks are released as soon as the commit record has its place in the
+// log buffer, before it is durable (early lock release). The single log
+// makes this safe: any transaction that read this one's writes appends
+// its commit record later, so that record becoming durable implies this
+// one's already is — a crash can never keep a reader of lost writes.
+// Waiting for durability happens after release, where concurrent
+// committers share one fsync via the WAL's group commit.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("engine: transaction %d already finished", tx.id)
 	}
 	if tx.began {
-		if _, err := tx.db.wal.Append(&wal.Record{Type: wal.RecCommit, Txn: uint64(tx.id)}); err != nil {
+		lsn, err := tx.db.wal.AppendBuffered(&wal.Record{Type: wal.RecCommit, Txn: uint64(tx.id)})
+		if err != nil {
 			tx.rollback()
 			tx.finish()
 			return err
 		}
+		tx.finish()
+		if err := tx.db.wal.WaitDurable(lsn); err != nil {
+			// Locks are gone and the commit record is in the log buffer;
+			// whether it survives is recovery's call now.
+			return err
+		}
+	} else {
+		tx.finish()
 	}
-	tx.finish()
 	for _, fn := range tx.onCommit {
 		if err := fn(); err != nil {
 			return fmt.Errorf("engine: post-commit hook: %w", err)
@@ -181,6 +198,36 @@ func undoOne(t *Table, u undoRec) error {
 		}
 	default:
 		return fmt.Errorf("engine: cannot undo record type %v", u.typ)
+	}
+	return nil
+}
+
+// LockTablesExclusive takes exclusive locks on every named table in one
+// canonical (sorted, deduplicated) order. Transactions that pre-declare
+// their write sets this way cannot deadlock with one another — the
+// parallel warehouse applier uses it so key-disjoint source
+// transactions can run concurrently without lock-order cycles.
+func (tx *Tx) LockTablesExclusive(tables ...string) error {
+	if tx.done {
+		return fmt.Errorf("engine: transaction %d already finished", tx.id)
+	}
+	names := make([]string, 0, len(tables))
+	seen := make(map[string]bool, len(tables))
+	for _, name := range tables {
+		t, err := tx.db.Table(name)
+		if err != nil {
+			return err
+		}
+		if !seen[t.Name] {
+			seen[t.Name] = true
+			names = append(names, t.Name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := tx.lockExclusive(name); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 // invocation `go test ./internal/fault/... -seeds N` passes the flag to
 // every test binary under this tree, so it must be accepted here too.
 var _ = flag.Int("seeds", 25, "accepted for symmetry with the simcrash sweep")
+var _ = flag.Int("parseeds", 12, "accepted for symmetry with the simcrash parallel-apply sweep")
 
 func TestSimFSBasicFileOps(t *testing.T) {
 	fs := NewSimFS(1)

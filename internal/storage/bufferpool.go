@@ -16,7 +16,26 @@ import (
 // Import funnels every record through pool frames (page fetch, pin,
 // dirty, evict-writeback) while the Loader packs pages in memory and
 // appends them with DiskManager.AppendPages.
+//
+// Internally the pool is split into shards selected by PageID, each
+// with its own mutex, frame map and LRU list, so concurrent workers
+// touching different pages stop serializing on one pool-wide lock.
+// Small pools (fewer than 2*minShardCap frames) stay single-sharded,
+// which keeps their I/O sequence — and any fault-injection schedule
+// replayed against it — identical to the unsharded pool's.
 type BufferPool struct {
+	disk   *DiskManager
+	shards []*poolShard
+}
+
+// minShardCap is the smallest per-shard capacity worth having: below
+// this, sharding just manufactures eviction pressure.
+const (
+	minShardCap = 32
+	maxShards   = 16
+)
+
+type poolShard struct {
 	mu     sync.Mutex
 	disk   *DiskManager
 	cap    int
@@ -29,23 +48,6 @@ type BufferPool struct {
 	beforeWrite func() error
 
 	hits, misses, evictions uint64
-}
-
-// SetBeforePageWrite installs fn to run before any dirty page write.
-// Must be called before the pool is shared across goroutines.
-func (b *BufferPool) SetBeforePageWrite(fn func() error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.beforeWrite = fn
-}
-
-func (b *BufferPool) writePageLocked(fr *frame) error {
-	if b.beforeWrite != nil {
-		if err := b.beforeWrite(); err != nil {
-			return err
-		}
-	}
-	return b.disk.WritePage(fr.id, &fr.page)
 }
 
 type frame struct {
@@ -62,12 +64,51 @@ func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		disk:   disk,
-		cap:    capacity,
-		frames: make(map[PageID]*frame, capacity),
-		lru:    list.New(),
+	n := capacity / (2 * minShardCap)
+	if n > maxShards {
+		n = maxShards
 	}
+	if n < 1 {
+		n = 1
+	}
+	b := &BufferPool{disk: disk, shards: make([]*poolShard, n)}
+	base, rem := capacity/n, capacity%n
+	for i := range b.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		b.shards[i] = &poolShard{
+			disk:   disk,
+			cap:    c,
+			frames: make(map[PageID]*frame, c),
+			lru:    list.New(),
+		}
+	}
+	return b
+}
+
+func (b *BufferPool) shard(id PageID) *poolShard {
+	return b.shards[int(id)%len(b.shards)]
+}
+
+// SetBeforePageWrite installs fn to run before any dirty page write.
+// Must be called before the pool is shared across goroutines.
+func (b *BufferPool) SetBeforePageWrite(fn func() error) {
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.beforeWrite = fn
+		s.mu.Unlock()
+	}
+}
+
+func (s *poolShard) writePageLocked(fr *frame) error {
+	if s.beforeWrite != nil {
+		if err := s.beforeWrite(); err != nil {
+			return err
+		}
+	}
+	return s.disk.WritePage(fr.id, &fr.page)
 }
 
 // ErrPoolExhausted reports that every frame is pinned.
@@ -76,23 +117,24 @@ var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pi
 // Fetch pins page id and returns its in-memory image. The caller must
 // Unpin it exactly once, marking it dirty if modified.
 func (b *BufferPool) Fetch(id PageID) (*Page, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if fr, ok := b.frames[id]; ok {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fr, ok := s.frames[id]; ok {
 		fr.pins++
-		b.lru.MoveToFront(fr.elem)
-		b.hits++
+		s.lru.MoveToFront(fr.elem)
+		s.hits++
 		return &fr.page, nil
 	}
-	b.misses++
-	fr, err := b.allocFrameLocked(id)
+	s.misses++
+	fr, err := s.allocFrameLocked(id)
 	if err != nil {
 		return nil, err
 	}
-	if err := b.disk.ReadPage(id, &fr.page); err != nil {
+	if err := s.disk.ReadPage(id, &fr.page); err != nil {
 		// Roll the frame back out so the pool stays consistent.
-		b.lru.Remove(fr.elem)
-		delete(b.frames, id)
+		s.lru.Remove(fr.elem)
+		delete(s.frames, id)
 		return nil, err
 	}
 	return &fr.page, nil
@@ -105,9 +147,10 @@ func (b *BufferPool) NewPage() (PageID, *Page, error) {
 	if err != nil {
 		return InvalidPageID, nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	fr, err := b.allocFrameLocked(id)
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, err := s.allocFrameLocked(id)
 	if err != nil {
 		return InvalidPageID, nil, err
 	}
@@ -117,32 +160,32 @@ func (b *BufferPool) NewPage() (PageID, *Page, error) {
 }
 
 // allocFrameLocked finds or evicts a frame for id and pins it once.
-func (b *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
-	if len(b.frames) >= b.cap {
-		if err := b.evictLocked(); err != nil {
+func (s *poolShard) allocFrameLocked(id PageID) (*frame, error) {
+	if len(s.frames) >= s.cap {
+		if err := s.evictLocked(); err != nil {
 			return nil, err
 		}
 	}
 	fr := &frame{id: id, pins: 1}
-	fr.elem = b.lru.PushFront(fr)
-	b.frames[id] = fr
+	fr.elem = s.lru.PushFront(fr)
+	s.frames[id] = fr
 	return fr, nil
 }
 
-func (b *BufferPool) evictLocked() error {
-	for e := b.lru.Back(); e != nil; e = e.Prev() {
+func (s *poolShard) evictLocked() error {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
 		fr := e.Value.(*frame)
 		if fr.pins > 0 {
 			continue
 		}
 		if fr.dirty {
-			if err := b.writePageLocked(fr); err != nil {
+			if err := s.writePageLocked(fr); err != nil {
 				return err
 			}
 		}
-		b.lru.Remove(e)
-		delete(b.frames, fr.id)
-		b.evictions++
+		s.lru.Remove(e)
+		delete(s.frames, fr.id)
+		s.evictions++
 		return nil
 	}
 	return ErrPoolExhausted
@@ -151,9 +194,10 @@ func (b *BufferPool) evictLocked() error {
 // Unpin releases one pin on page id, recording whether the caller
 // modified the page.
 func (b *BufferPool) Unpin(id PageID, dirty bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	fr, ok := b.frames[id]
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, ok := s.frames[id]
 	if !ok {
 		panic(fmt.Sprintf("storage: unpin of unfetched page %d", id))
 	}
@@ -167,38 +211,39 @@ func (b *BufferPool) Unpin(id PageID, dirty bool) {
 }
 
 // FlushAll writes every dirty page back to disk (pages stay cached).
-// Pages are written in ascending ID order so the I/O sequence — and
-// with it any fault-injection schedule replayed against it — is
-// deterministic for a given workload.
+// Pages are written in ascending ID order across all shards so the I/O
+// sequence — and with it any fault-injection schedule replayed against
+// it — is deterministic for a given workload.
 func (b *BufferPool) FlushAll() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	ids := make([]PageID, 0, len(b.frames))
-	for id, fr := range b.frames {
-		if fr.dirty {
-			ids = append(ids, id)
+	var ids []PageID
+	for _, s := range b.shards {
+		s.mu.Lock()
+		for id, fr := range s.frames {
+			if fr.dirty {
+				ids = append(ids, id)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		fr := b.frames[id]
-		if err := b.writePageLocked(fr); err != nil {
+		if err := b.FlushPage(id); err != nil {
 			return err
 		}
-		fr.dirty = false
 	}
 	return nil
 }
 
 // FlushPage writes one page back if it is cached and dirty.
 func (b *BufferPool) FlushPage(id PageID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	fr, ok := b.frames[id]
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, ok := s.frames[id]
 	if !ok || !fr.dirty {
 		return nil
 	}
-	if err := b.writePageLocked(fr); err != nil {
+	if err := s.writePageLocked(fr); err != nil {
 		return err
 	}
 	fr.dirty = false
@@ -209,11 +254,19 @@ func (b *BufferPool) FlushPage(id PageID) error {
 type PoolStats struct {
 	Hits, Misses, Evictions uint64
 	Cached                  int
+	Shards                  int
 }
 
-// Stats returns a snapshot of cache counters.
+// Stats returns a snapshot of cache counters, summed across shards.
 func (b *BufferPool) Stats() PoolStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return PoolStats{Hits: b.hits, Misses: b.misses, Evictions: b.evictions, Cached: len(b.frames)}
+	out := PoolStats{Shards: len(b.shards)}
+	for _, s := range b.shards {
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		out.Cached += len(s.frames)
+		s.mu.Unlock()
+	}
+	return out
 }

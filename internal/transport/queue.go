@@ -25,6 +25,19 @@ type Queue struct {
 	data    fault.File
 	readPos int64 // next unread offset (volatile cursor)
 	ackPos  int64 // durable consumer position
+
+	// Group-sync state for Append: the data mutex is never held across
+	// an fsync. writeSeq counts appended frames, syncedSeq the durable
+	// prefix; a leader fsyncs for every appender that queued behind it
+	// on syncCond, so shippers and consumers overlap with durability.
+	writeSeq  uint64
+	syncedSeq uint64
+	syncing   bool
+	syncCond  *sync.Cond
+
+	// ackMu serializes Ack's rewrite of the ack file, again without
+	// holding mu across the fsync+rename.
+	ackMu sync.Mutex
 }
 
 const (
@@ -48,6 +61,7 @@ func OpenQueueFS(fsys fault.FS, dir string) (*Queue, error) {
 		return nil, err
 	}
 	q := &Queue{fs: fsys, dir: dir, data: f}
+	q.syncCond = sync.NewCond(&q.mu)
 	ackRaw, err := fsys.ReadFile(filepath.Join(dir, queueAckFile))
 	if err == nil && len(ackRaw) == 8 {
 		q.ackPos = int64(binary.LittleEndian.Uint64(ackRaw))
@@ -89,21 +103,59 @@ func (q *Queue) truncateTornTail() error {
 
 var queueCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// Append enqueues one message durably.
+// Append enqueues one message durably. The frame write happens under
+// the queue mutex, but the fsync does not: concurrent appenders form a
+// cohort behind one leader's fsync (group sync), and readers proceed
+// during it.
 func (q *Queue) Append(msg []byte) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	frame := make([]byte, 8+len(msg))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(msg)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(msg, queueCRC))
 	copy(frame[8:], msg)
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if _, err := q.data.Seek(0, io.SeekEnd); err != nil {
 		return err
 	}
 	if _, err := q.data.Write(frame); err != nil {
 		return err
 	}
-	return q.data.Sync()
+	q.writeSeq++
+	return q.syncToLocked(q.writeSeq)
+}
+
+// syncToLocked returns once frame seq is durable. Caller holds q.mu;
+// the fsync itself runs with q.mu released so appends and reads keep
+// flowing, and every appender queued meanwhile is covered by the next
+// leader's fsync.
+func (q *Queue) syncToLocked(seq uint64) error {
+	for {
+		if q.syncedSeq >= seq {
+			return nil
+		}
+		if q.syncing {
+			q.syncCond.Wait()
+			continue
+		}
+		goal := q.writeSeq
+		q.syncing = true
+		f := q.data
+		err := func() error {
+			q.mu.Unlock()
+			defer func() {
+				q.mu.Lock()
+				q.syncing = false
+				q.syncCond.Broadcast()
+			}()
+			return f.Sync()
+		}()
+		if err != nil {
+			return err
+		}
+		if goal > q.syncedSeq {
+			q.syncedSeq = goal
+		}
+	}
 }
 
 // ErrEmpty reports that no unconsumed message is available.
@@ -143,19 +195,44 @@ func (q *Queue) Next() ([]byte, error) {
 // fsynced *before* the rename: rename alone only journals metadata, so
 // without the fsync a power loss can publish an empty or torn ack file
 // under the final name.
+//
+// The queue mutex is only held to snapshot and publish positions, never
+// across the fsync+rename — concurrent producers and Next calls keep
+// overlapping with the ack I/O (ackMu serializes ack writers instead).
 func (q *Queue) Ack() error {
+	q.ackMu.Lock()
+	defer q.ackMu.Unlock()
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.ackLocked(true)
+	pos := q.readPos
+	q.mu.Unlock()
+	if err := q.writeAckFile(pos, true); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	if pos > q.ackPos {
+		q.ackPos = pos
+	}
+	q.mu.Unlock()
+	return nil
 }
 
-// ackLocked writes the ack position via temp file + rename. sync gates
-// the pre-rename fsync; production callers always pass true. The false
-// path survives only so the crash-consistency tests can demonstrate the
-// data-loss window the fsync closes.
+// ackLocked writes the ack position with q.mu held across the file I/O
+// (the pre-group-sync behaviour). sync gates the pre-rename fsync;
+// production uses Ack. This path survives only so the crash-consistency
+// tests can demonstrate the data-loss window the fsync closes, against
+// a deterministic single-threaded op schedule.
 func (q *Queue) ackLocked(sync bool) error {
+	if err := q.writeAckFile(q.readPos, sync); err != nil {
+		return err
+	}
+	q.ackPos = q.readPos
+	return nil
+}
+
+// writeAckFile persists pos via temp file [+ fsync] + rename.
+func (q *Queue) writeAckFile(pos int64, sync bool) error {
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(q.readPos))
+	binary.LittleEndian.PutUint64(buf[:], uint64(pos))
 	tmp := filepath.Join(q.dir, queueAckFile+".tmp")
 	f, err := q.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -174,11 +251,7 @@ func (q *Queue) ackLocked(sync bool) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := q.fs.Rename(tmp, filepath.Join(q.dir, queueAckFile)); err != nil {
-		return err
-	}
-	q.ackPos = q.readPos
-	return nil
+	return q.fs.Rename(tmp, filepath.Join(q.dir, queueAckFile))
 }
 
 // AckPos returns the durable consumer position (offset of the first

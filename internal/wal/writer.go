@@ -72,7 +72,17 @@ type Writer struct {
 	nextLSN LSN
 	scratch []byte
 
-	appended, flushes, syncsDone, rotations uint64
+	// Group-commit bookkeeping. lastLSN is the newest appended record;
+	// flushedLSN / durableLSN are high-water marks of what has reached
+	// the OS / the disk. syncing marks a group-commit leader whose fsync
+	// is in flight with mu released; cohort members wait on syncCond.
+	lastLSN    LSN
+	flushedLSN LSN
+	durableLSN LSN
+	syncing    bool
+	syncCond   *sync.Cond
+
+	appended, flushes, syncsDone, groupSyncs, rotations uint64
 }
 
 // Open creates or resumes the log in dir. When resuming, the next LSN
@@ -91,6 +101,7 @@ func Open(dir string, opts Options) (*Writer, error) {
 		}
 	}
 	w := &Writer{dir: dir, opts: opts, fs: fsys, nextLSN: 1}
+	w.syncCond = sync.NewCond(&w.mu)
 	segs, err := ListSegmentsFS(fsys, dir)
 	if err != nil {
 		return nil, err
@@ -129,6 +140,11 @@ func Open(dir string, opts Options) (*Writer, error) {
 		w.f = f
 		w.segSize = validLen
 		w.bw = bufio.NewWriterSize(f, 1<<16)
+		// Everything already in the segment files predates this writer's
+		// buffer, so the durability marks start at the resumed position.
+		w.lastLSN = w.nextLSN - 1
+		w.flushedLSN = w.lastLSN
+		w.durableLSN = w.lastLSN
 		return w, nil
 	}
 	if err := w.openSegmentLocked(1); err != nil {
@@ -155,6 +171,23 @@ func (w *Writer) openSegmentLocked(idx uint64) error {
 func (w *Writer) Append(r *Record) (LSN, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.appendLocked(r, true)
+}
+
+// AppendBuffered frames r and assigns its LSN but does not apply the
+// commit durability policy, even for commit/abort/checkpoint records.
+// Callers pair it with WaitDurable: append the commit record, release
+// transaction locks, then wait for durability — early lock release.
+// Correctness rests on the single-log ordering invariant: a transaction
+// that observed this one's writes appends its own commit record later,
+// so its record becoming durable implies this one's already is.
+func (w *Writer) AppendBuffered(r *Record) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(r, false)
+}
+
+func (w *Writer) appendLocked(r *Record, inlineSync bool) (LSN, error) {
 	if w.f == nil {
 		return 0, fmt.Errorf("wal: writer closed")
 	}
@@ -165,8 +198,9 @@ func (w *Writer) Append(r *Record) (LSN, error) {
 		return 0, err
 	}
 	w.appended++
+	w.lastLSN = r.LSN
 	w.segSize += int64(len(w.scratch))
-	if r.Type == RecCommit || r.Type == RecAbort || r.Type == RecCheckpoint {
+	if inlineSync && (r.Type == RecCommit || r.Type == RecAbort || r.Type == RecCheckpoint) {
 		if err := w.applySyncLocked(); err != nil {
 			return 0, err
 		}
@@ -179,22 +213,127 @@ func (w *Writer) Append(r *Record) (LSN, error) {
 	return r.LSN, nil
 }
 
+func (w *Writer) noteFlushedLocked(lsn LSN) {
+	if lsn > w.flushedLSN {
+		w.flushedLSN = lsn
+	}
+}
+
+func (w *Writer) noteDurableLocked(lsn LSN) {
+	w.noteFlushedLocked(lsn)
+	if lsn > w.durableLSN {
+		w.durableLSN = lsn
+	}
+}
+
 func (w *Writer) applySyncLocked() error {
 	switch w.opts.Sync {
 	case SyncNone:
 		return nil
 	case SyncFlush:
 		w.flushes++
-		return w.bw.Flush()
+		if err := w.bw.Flush(); err != nil {
+			return err
+		}
+		w.noteFlushedLocked(w.lastLSN)
+		return nil
 	case SyncFull:
+		goal := w.lastLSN
 		w.flushes++
 		if err := w.bw.Flush(); err != nil {
 			return err
 		}
+		w.noteFlushedLocked(goal)
 		w.syncsDone++
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.noteDurableLocked(goal)
+		return nil
 	default:
 		return fmt.Errorf("wal: unknown sync policy %d", w.opts.Sync)
+	}
+}
+
+// WaitDurable blocks until the record at lsn is as durable as the
+// writer's policy promises: nothing for SyncNone, flushed to the OS for
+// SyncFlush, fsynced for SyncFull. Concurrent callers form a cohort: the
+// first becomes the leader and issues one flush+fsync covering every
+// record appended so far, so N committers pay one fsync between them
+// (group commit) instead of one each.
+func (w *Writer) WaitDurable(lsn LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.opts.Sync {
+	case SyncNone:
+		return nil
+	case SyncFlush:
+		if w.flushedLSN >= lsn {
+			return nil
+		}
+		if w.bw == nil {
+			return fmt.Errorf("wal: writer closed")
+		}
+		w.flushes++
+		if err := w.bw.Flush(); err != nil {
+			return err
+		}
+		w.noteFlushedLocked(w.lastLSN)
+		return nil
+	default:
+		return w.syncToLocked(lsn)
+	}
+}
+
+// syncToLocked returns once every record with LSN <= target is fsynced.
+// The caller holds w.mu. While a leader's fsync is in flight, w.mu is
+// released so appenders keep filling the buffer for the next cohort and
+// latecomers queue on syncCond.
+func (w *Writer) syncToLocked(target LSN) error {
+	for {
+		if w.durableLSN >= target {
+			return nil
+		}
+		if w.bw == nil {
+			return fmt.Errorf("wal: writer closed")
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		// Lead one sync round for everything appended so far.
+		goal := w.lastLSN
+		w.flushes++
+		if err := w.bw.Flush(); err != nil {
+			return err
+		}
+		w.noteFlushedLocked(goal)
+		f := w.f
+		w.syncing = true
+		w.groupSyncs++
+		err := func() error {
+			w.mu.Unlock()
+			// The deferred re-lock also runs when Sync panics (the
+			// fault-injection crash path), so syncing can't stay stuck
+			// and strand the cohort.
+			defer func() {
+				w.mu.Lock()
+				w.syncing = false
+				w.syncCond.Broadcast()
+			}()
+			return f.Sync()
+		}()
+		if err != nil {
+			// A concurrent rotation can sync and close the segment under
+			// the leader; its own fsync then fails, but durability already
+			// covers the goal, so keep going.
+			if w.durableLSN >= goal {
+				continue
+			}
+			return err
+		}
+		w.syncsDone++
+		w.noteDurableLocked(goal)
 	}
 }
 
@@ -206,30 +345,35 @@ func (w *Writer) Flush() error {
 		return nil
 	}
 	w.flushes++
-	return w.bw.Flush()
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.noteFlushedLocked(w.lastLSN)
+	return nil
 }
 
-// Sync flushes and fsyncs the active segment.
+// Sync flushes and fsyncs the active segment. When everything appended
+// is already durable — the common case right after a group commit — it
+// returns without touching the file, which keeps the buffer pool's
+// log-before-page barrier cheap.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.bw == nil {
 		return nil
 	}
-	if err := w.bw.Flush(); err != nil {
-		return err
-	}
-	w.syncsDone++
-	return w.f.Sync()
+	return w.syncToLocked(w.lastLSN)
 }
 
 func (w *Writer) rotateLocked() error {
+	goal := w.lastLSN
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.noteDurableLocked(goal)
 	if err := w.f.Close(); err != nil {
 		return err
 	}
@@ -289,16 +433,19 @@ func (w *Writer) NextLSN() LSN {
 	return w.nextLSN
 }
 
-// Stats is a snapshot of writer counters.
+// Stats is a snapshot of writer counters. GroupSyncs counts sync rounds
+// led on behalf of a WaitDurable cohort; Syncs counts fsyncs issued, so
+// Syncs well below the number of commits is group commit working.
 type Stats struct {
-	Appended, Flushes, Syncs, Rotations uint64
+	Appended, Flushes, Syncs, GroupSyncs, Rotations uint64
 }
 
 // Stats returns writer counters.
 func (w *Writer) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return Stats{Appended: w.appended, Flushes: w.flushes, Syncs: w.syncsDone, Rotations: w.rotations}
+	return Stats{Appended: w.appended, Flushes: w.flushes, Syncs: w.syncsDone,
+		GroupSyncs: w.groupSyncs, Rotations: w.rotations}
 }
 
 // Close flushes, syncs and closes the active segment.
@@ -314,8 +461,12 @@ func (w *Writer) Close() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.noteDurableLocked(w.lastLSN)
 	err := w.f.Close()
 	w.f, w.bw = nil, nil
+	// Wake any cohort members so they observe the closed writer instead
+	// of sleeping forever.
+	w.syncCond.Broadcast()
 	return err
 }
 

@@ -141,6 +141,9 @@ func (w *Warehouse) RegisterAggView(def AggViewDef, srcSchema *catalog.Schema) (
 	if err := w.DB.CreateTrigger(def.Source, trig); err != nil {
 		return nil, err
 	}
+	w.mu.Lock()
+	w.aggs[strings.ToLower(def.Source)] = append(w.aggs[strings.ToLower(def.Source)], v)
+	w.mu.Unlock()
 	return v, nil
 }
 

@@ -1,0 +1,283 @@
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/opdelta"
+)
+
+// ParallelIntegrator replays an op stream with source-transaction
+// granularity like OpDeltaIntegrator with GroupByTxn, but dispatches
+// independent source transactions onto a bounded worker pool. Two
+// transactions are independent when their key footprints (see
+// opdelta.StatementFootprint) are disjoint on every table; conflicting
+// transactions are ordered by a dependency DAG so they retain source
+// commit order, and anything the analysis cannot bound falls back to
+// conflicting with everything — serial order, never wrong answers.
+//
+// The concurrency win under SyncFull is commit pipelining: each worker
+// holds its table locks only while applying (early lock release in
+// engine.Tx.Commit) and the WAL group-commits the cohort's fsyncs, so
+// the per-transaction fsync latency that dominates the serial
+// integrator's window overlaps across workers.
+type ParallelIntegrator struct {
+	W *Warehouse
+	// Workers bounds the apply pool. Values below 2 keep the scheduler
+	// but run one transaction at a time.
+	Workers int
+}
+
+// txnGroup is one source transaction's ops plus its conflict metadata.
+type txnGroup struct {
+	ops []*opdelta.Op
+	// foot maps lower(source table) -> key footprint on that table.
+	foot map[string]opdelta.Footprint
+	// universal marks the serial fallback: the group conflicts with
+	// every other group (unparseable op or undeterminable key set).
+	universal bool
+	// locks is every warehouse table the group may touch, pre-declared
+	// so workers lock in canonical order and cannot deadlock.
+	locks []string
+}
+
+func (g *txnGroup) conflictsWith(o *txnGroup) bool {
+	if g.universal || o.universal {
+		return true
+	}
+	for t, fg := range g.foot {
+		if fo, ok := o.foot[t]; ok && fg.Overlaps(fo) {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictKey resolves the schema and primary-key column used for
+// footprint analysis of ops on a source table: the replica's PK when
+// one exists, else any registered view's declared SourcePK.
+func (w *Warehouse) conflictKey(table string) (*catalog.Schema, string) {
+	if t, err := w.DB.Table(table); err == nil {
+		if t.PKCol >= 0 {
+			return t.Schema, t.Schema.Column(t.PKCol).Name
+		}
+		return t.Schema, ""
+	}
+	for _, v := range w.ViewsOn(table) {
+		if v.Def.SourcePK != "" {
+			return v.SrcSchema, v.Def.SourcePK
+		}
+	}
+	return nil, ""
+}
+
+// analyze computes one group's footprints and lock set.
+func (in *ParallelIntegrator) analyze(ops []*opdelta.Op) *txnGroup {
+	g := &txnGroup{ops: ops, foot: make(map[string]opdelta.Footprint)}
+	lockSet := make(map[string]bool)
+	addFoot := func(table string, fp opdelta.Footprint) {
+		key := strings.ToLower(table)
+		g.foot[key] = g.foot[key].Union(fp)
+	}
+	for _, op := range ops {
+		schema, pk := in.W.conflictKey(op.Table)
+		fp := opdelta.WholeTable()
+		stmt, err := op.Statement()
+		if err != nil {
+			g.universal = true
+		} else {
+			fp = opdelta.StatementFootprint(stmt, schema, pk)
+		}
+		if in.W.HasReplica(op.Table) {
+			lockSet[op.Table] = true
+		}
+		for _, v := range in.W.ViewsOn(op.Table) {
+			lockSet[v.Def.Name] = true
+			if v.Def.Join == nil && v.pkInView < 0 {
+				// A view that drops the source PK is maintained by
+				// full-row-match deletes, which remove every duplicate —
+				// rows other keys contributed. That is order-sensitive
+				// across key-disjoint transactions, so widen to
+				// whole-table and let the DAG serialize them.
+				fp = opdelta.WholeTable()
+			}
+			if v.Def.Join != nil {
+				// Join maintenance probes the partner replica: the group
+				// effectively reads arbitrary partner rows and patches
+				// arbitrary view rows, so widen to whole-table on both
+				// sides and lock the partner too.
+				fp = opdelta.WholeTable()
+				partner := v.Def.Join.Table
+				if strings.EqualFold(partner, op.Table) {
+					partner = v.Def.Source
+				}
+				addFoot(partner, opdelta.WholeTable())
+				lockSet[partner] = true
+			}
+		}
+		for _, av := range in.W.AggViewsOn(op.Table) {
+			lockSet[av.Def.Name] = true
+		}
+		addFoot(op.Table, fp)
+	}
+	for t := range lockSet {
+		g.locks = append(g.locks, t)
+	}
+	return g
+}
+
+// Apply replays the ops, preserving source commit order between
+// conflicting transactions. On the first error the remaining groups are
+// abandoned (already-committed groups stay committed, exactly as with
+// the serial integrator).
+func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
+	start := time.Now()
+	var groups []*txnGroup
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for j < len(ops) && ops[j].Txn == ops[i].Txn {
+			j++
+		}
+		groups = append(groups, in.analyze(ops[i:j]))
+		i = j
+	}
+	n := len(groups)
+	var stats ApplyStats
+	if n == 0 {
+		stats.Duration = time.Since(start)
+		return stats, nil
+	}
+
+	// Dependency DAG: group j waits for every earlier conflicting group.
+	indeg := make([]int, n)
+	rdeps := make([][]int, n)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if groups[i].conflictsWith(groups[j]) {
+				indeg[j]++
+				rdeps[i] = append(rdeps[i], j)
+			}
+		}
+	}
+
+	workers := in.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ready := make(chan int, n)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	cancel := func() { abortOnce.Do(func() { close(abort) }) }
+
+	var mu sync.Mutex
+	var firstErr error
+	var panicVal any
+	completed := 0
+	for idx := 0; idx < n; idx++ {
+		if indeg[idx] == 0 {
+			ready <- idx
+		}
+	}
+
+	ser := &OpDeltaIntegrator{W: in.W}
+	runGroup := func(g *txnGroup) (err error) {
+		var tx *engine.Tx
+		committing := false
+		defer func() {
+			if r := recover(); r == nil {
+				return
+			} else {
+				// Release the group's locks so peers fail fast instead of
+				// timing out, then surface the panic value to the caller's
+				// goroutine (the fault harness catches crash panics there).
+				if tx != nil && !committing {
+					func() { defer func() { recover() }(); tx.Abort() }()
+				}
+				mu.Lock()
+				if panicVal == nil {
+					panicVal = r
+				}
+				mu.Unlock()
+				err = fmt.Errorf("warehouse: parallel apply panic: %v", r)
+			}
+		}()
+		tx = in.W.DB.Begin()
+		if lerr := tx.LockTablesExclusive(g.locks...); lerr != nil {
+			tx.Abort()
+			return lerr
+		}
+		recs, stmts := 0, 0
+		for _, op := range g.ops {
+			c, aerr := ser.applyOne(tx, op)
+			stmts += c
+			if aerr != nil {
+				tx.Abort()
+				return fmt.Errorf("warehouse: op %d (%s): %w", op.Seq, op.Stmt, aerr)
+			}
+			recs++
+		}
+		committing = true
+		if cerr := tx.Commit(); cerr != nil {
+			return cerr
+		}
+		mu.Lock()
+		stats.Records += recs
+		stats.Statements += stmts
+		stats.Txns++
+		mu.Unlock()
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-abort:
+					return
+				case idx, ok := <-ready:
+					if !ok {
+						return
+					}
+					if err := runGroup(groups[idx]); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						cancel()
+						return
+					}
+					mu.Lock()
+					completed++
+					if completed == n {
+						close(ready)
+					}
+					for _, d := range rdeps[idx] {
+						indeg[d]--
+						if indeg[d] == 0 {
+							ready <- d
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	stats.Duration = time.Since(start)
+	return stats, firstErr
+}

@@ -1,0 +1,240 @@
+package warehouse
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/opdelta"
+	"opdelta/internal/sqlmini"
+	"opdelta/internal/wal"
+)
+
+// equivseeds bounds the randomized serial-vs-parallel equivalence
+// sweep. CI runs a larger bound: go test ./internal/warehouse/ -equivseeds 12
+var equivseeds = flag.Int("equivseeds", 4, "seeds for the parallel apply equivalence sweep")
+
+// fixedNow pins engine-stamped timestamp columns: serial and parallel
+// replays execute statements in different global orders, so a ticking
+// clock would make byte comparison fail for reasons that have nothing
+// to do with integration correctness.
+func fixedNow() time.Time { return time.Date(2000, 3, 1, 0, 0, 0, 0, time.UTC) }
+
+// equivWarehouse builds a warehouse (replica + SP view + aggregate
+// view, plus optionally a PK-dropping view) over a fixed clock.
+func equivWarehouse(t *testing.T, sync wal.SyncPolicy, withNoPKView bool) *Warehouse {
+	t.Helper()
+	db, err := engine.Open(t.TempDir(), engine.Options{Now: fixedNow, WALSync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(nil, partsDDL); err != nil {
+		t.Fatal(err)
+	}
+	w := New(db)
+	schema := partsSchema(t, db)
+	if err := w.RegisterReplica("parts", schema, "part_id", "last_modified"); err != nil {
+		t.Fatal(err)
+	}
+	lowQty, err := sqlmini.ParseExpr("qty < 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RegisterView(opdelta.ViewDef{
+		Name: "v_low", Source: "parts", Project: []string{"part_id", "qty"}, Where: lowQty,
+	}, schema, nil); err != nil {
+		t.Fatal(err)
+	}
+	if withNoPKView {
+		// v_status drops the PK: full-row-match deletes make its
+		// maintenance order-sensitive, so its presence must force the
+		// integrator into whole-table conflicts (serial order).
+		if _, err := w.RegisterView(opdelta.ViewDef{
+			Name: "v_status", Source: "parts", Project: []string{"status"},
+		}, schema, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.RegisterAggView(AggViewDef{
+		Name: "agg_status", Source: "parts", GroupBy: "status",
+		Aggregates: []sqlmini.AggSpec{
+			{Fn: sqlmini.AggCount},
+			{Fn: sqlmini.AggSum, Col: "qty"},
+		},
+	}, schema); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// randomOpWorkload executes a seeded random transaction mix on a fresh
+// source with op capture and returns the captured stream.
+func randomOpWorkload(t *testing.T, seed int64, txns int) []*opdelta.Op {
+	t.Helper()
+	src, _, oc, log := sourceWithCapture(t, nil)
+	rng := rand.New(rand.NewSource(seed))
+	const keys = 400
+	live := make(map[int64]bool)
+	// Seed rows so updates and deletes have targets.
+	tx := src.Begin()
+	for k := int64(0); k < 120; k++ {
+		stmt := fmt.Sprintf("INSERT INTO parts VALUES (%d, 's%d', %d, NULL)", k, k%7, k*10)
+		if _, err := oc.Exec(tx, stmt); err != nil {
+			t.Fatal(err)
+		}
+		live[k] = true
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < txns; i++ {
+		tx := src.Begin()
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			var stmt string
+			switch rng.Intn(10) {
+			case 0, 1: // insert a fresh key
+				k := int64(rng.Intn(keys))
+				for live[k] {
+					k = (k + 1) % keys
+				}
+				live[k] = true
+				stmt = fmt.Sprintf("INSERT INTO parts (part_id, status, qty) VALUES (%d, 's%d', %d)", k, rng.Intn(7), rng.Intn(1000))
+			case 2: // delete a point
+				k := int64(rng.Intn(keys))
+				delete(live, k)
+				stmt = fmt.Sprintf("DELETE FROM parts WHERE part_id = %d", k)
+			case 3, 4, 5: // range update (analyzable footprint)
+				lo := rng.Intn(keys)
+				hi := lo + rng.Intn(25)
+				stmt = fmt.Sprintf("UPDATE parts SET status = 's%d', qty = %d WHERE part_id BETWEEN %d AND %d",
+					rng.Intn(7), rng.Intn(1000), lo, hi)
+			case 6, 7, 8: // point update with computed non-key column
+				stmt = fmt.Sprintf("UPDATE parts SET qty = qty + %d WHERE part_id = %d", 1+rng.Intn(9), rng.Intn(keys))
+			default: // non-key predicate: degrades to whole-table (serial fallback)
+				stmt = fmt.Sprintf("UPDATE parts SET status = 'w%d' WHERE qty = %d", rng.Intn(3), rng.Intn(1000))
+			}
+			if _, err := oc.Exec(tx, stmt); err != nil {
+				t.Fatalf("workload stmt %q: %v", stmt, err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops, err := log.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+// tableImage renders a table as sorted encoded rows, a physical-layout-
+// independent fingerprint of its logical content.
+func tableImage(t *testing.T, db *engine.DB, name string) []string {
+	t.Helper()
+	var rows []string
+	err := db.ScanTable(nil, name, func(tup catalog.Tuple) error {
+		parts := make([]string, len(tup))
+		for i, v := range tup {
+			parts[i] = v.SQLLiteral()
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestParallelApplyEquivalence is the property test: for seeded random
+// workloads, ParallelIntegrator at 4 workers must leave the warehouse —
+// base replica and every view — byte-identical to the serial
+// OpDeltaIntegrator.
+func TestParallelApplyEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= int64(*equivseeds); seed++ {
+		seed := seed
+		// Every other seed adds the PK-dropping view, which forces the
+		// whole-table (serial-order) degradation path; the rest exercise
+		// genuine reordering.
+		withNoPK := seed%2 == 0
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			tables := []string{"parts", "v_low", "agg_status"}
+			if withNoPK {
+				tables = append(tables, "v_status")
+			}
+			ops := randomOpWorkload(t, seed, 40)
+			ws := equivWarehouse(t, wal.SyncFlush, withNoPK)
+			serStats, err := (&OpDeltaIntegrator{W: ws, GroupByTxn: true}).Apply(ops)
+			if err != nil {
+				t.Fatalf("serial apply: %v", err)
+			}
+			wp := equivWarehouse(t, wal.SyncFlush, withNoPK)
+			parStats, err := (&ParallelIntegrator{W: wp, Workers: 4}).Apply(ops)
+			if err != nil {
+				t.Fatalf("parallel apply: %v", err)
+			}
+			if serStats.Records != parStats.Records || serStats.Txns != parStats.Txns {
+				t.Fatalf("stats diverged: serial %+v parallel %+v", serStats, parStats)
+			}
+			for _, name := range tables {
+				a, b := tableImage(t, ws.DB, name), tableImage(t, wp.DB, name)
+				if len(a) != len(b) {
+					t.Fatalf("%s: row count %d (serial) vs %d (parallel)", name, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s row %d differs:\n serial   %s\n parallel %s", name, i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelApplyOrderedConflicts pins the DAG ordering guarantee
+// directly: many transactions rewriting the same key must land in
+// source commit order even with maximal worker counts.
+func TestParallelApplyOrderedConflicts(t *testing.T) {
+	src, _, oc, log := sourceWithCapture(t, nil)
+	tx := src.Begin()
+	if _, err := oc.Exec(tx, "INSERT INTO parts VALUES (1, 'v0', 0, NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	const chain = 30
+	for i := 1; i <= chain; i++ {
+		tx := src.Begin()
+		if _, err := oc.Exec(tx, fmt.Sprintf("UPDATE parts SET status = 'v%d', qty = %d WHERE part_id = 1", i, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops, err := log.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := equivWarehouse(t, wal.SyncFlush, false)
+	if _, err := (&ParallelIntegrator{W: w, Workers: 8}).Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := w.DB.Query(nil, "SELECT status, qty FROM parts WHERE part_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Str() != fmt.Sprintf("v%d", chain) {
+		t.Fatalf("conflicting chain applied out of order: %v", rows)
+	}
+}

@@ -32,8 +32,9 @@ type Warehouse struct {
 	DB *engine.DB
 
 	mu       sync.RWMutex
-	replicas map[string]bool    // lower(source) -> replica registered
-	views    map[string][]*View // lower(source table) -> dependent views
+	replicas map[string]bool       // lower(source) -> replica registered
+	views    map[string][]*View    // lower(source table) -> dependent views
+	aggs     map[string][]*AggView // lower(source table) -> dependent agg views
 	all      []*View
 }
 
@@ -57,6 +58,7 @@ func New(db *engine.DB) *Warehouse {
 		DB:       db,
 		replicas: make(map[string]bool),
 		views:    make(map[string][]*View),
+		aggs:     make(map[string][]*AggView),
 	}
 }
 
@@ -94,6 +96,13 @@ func (w *Warehouse) ViewsOn(source string) []*View {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return w.views[strings.ToLower(source)]
+}
+
+// AggViewsOn returns the aggregate views that depend on a source table.
+func (w *Warehouse) AggViewsOn(source string) []*AggView {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.aggs[strings.ToLower(source)]
 }
 
 // Views returns every registered view.
