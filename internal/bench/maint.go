@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"opdelta/internal/extract"
 	"opdelta/internal/opdelta"
+	"opdelta/internal/txn"
 	"opdelta/internal/warehouse"
 	"opdelta/internal/workload"
 )
@@ -179,29 +181,47 @@ func RunMaintWindow(cfg Config) (*Result, error) {
 // readers interleave.
 //
 // The workload is 100 source update transactions of txn-size rows each;
-// both integrators consume the identical work while 2 readers loop an
-// OLAP scan. Reported values: integration window and the maximum
-// single-query latency a reader observed.
+// both integrators consume the identical work while 2 readers loop
+// partition-wise OLAP stripe scans. Reported values: integration window
+// and the maximum single-query latency a reader observed.
 func RunConcurrent(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	const txns = 200
-	perTxn := 100
+	const txns = 100
+	// Large enough that the apply phase (an indexed 1600-row update) is
+	// comparable to a reader scan, so execution overlap — not just
+	// commit pipelining — is visible in the sweep; capped so tiny test
+	// configurations keep a valid key span.
+	perTxn := 1600
+	if max := cfg.TableRows / 4; perTxn > max {
+		perTxn = max
+	}
+	// Readers pause between queries (OLAP think time). The gaps leave
+	// applier-only intervals where the locking regime is the bottleneck:
+	// key-range appliers overlap execution, whole-table appliers
+	// serialize on X.
+	const readerThink = 40 * time.Millisecond
 	workerSweep := []int{1, 2, 4, 8}
+	tableLockSweep := []int{2, 4, 8}
 	res := &Result{
 		ID:       "e9-online",
 		Title:    "OLAP query latency during integration (§4.1 on-line maintenance)",
 		Unit:     "ms",
-		ColHeads: []string{"integration window", "max reader latency", "reader queries served", "speedup vs serial"},
+		ColHeads: []string{"integration window", "max reader latency", "reader queries served", "speedup vs serial", "applier lock wait ms", "applier lock waits"},
 		RowHeads: []string{"ValueDelta batch", "OpDelta per-txn"},
 		Notes: []string{
 			"value-delta integration is one exclusive batch: readers stall for the whole window",
 			"parallel rows: conflict-aware DAG scheduling + WAL group commit; speedup is serial Op-Delta window / row window",
+			"parallel rows pre-declare key-range locks so key-disjoint appliers overlap execution; table-lock rows force the whole-table baseline",
+			"applier lock wait ms / waits: blocked time and blocked acquisitions of write-mode requests (readers excluded)",
 		},
 	}
 	for _, wk := range workerSweep {
 		res.RowHeads = append(res.RowHeads, fmt.Sprintf("OpDelta parallel w=%d", wk))
+	}
+	for _, wk := range tableLockSweep {
+		res.RowHeads = append(res.RowHeads, fmt.Sprintf("OpDelta parallel table-lock w=%d", wk))
 	}
 	res.Values = make([][]float64, len(res.RowHeads))
 
@@ -240,9 +260,11 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	}
 
 	type outcome struct {
-		window time.Duration
-		maxLat time.Duration
-		served int
+		window   time.Duration
+		maxLat   time.Duration
+		served   int
+		lockWait time.Duration
+		waits    uint64
 	}
 	runWith := func(name string, integrate func(w *warehouse.Warehouse) (warehouse.ApplyStats, error)) (*outcome, error) {
 		w, err := newReplicaWarehouse(&cfg, name)
@@ -255,19 +277,36 @@ func RunConcurrent(cfg Config) (*Result, error) {
 		var maxLat time.Duration
 		served := 0
 		var wg sync.WaitGroup
+		// Readers walk the table partition by partition: each query scans
+		// one PK stripe, the usual shape of a reporting job over a
+		// partitioned warehouse table. A stripe predicate is an exact PK
+		// range, so under key-range locking a read only conflicts with
+		// appliers whose footprint intersects that stripe; under the
+		// table-lock baseline every read excludes every applier.
+		stripe := cfg.TableRows / 8
+		if stripe < 1 {
+			stripe = 1
+		}
 		for r := 0; r < 2; r++ {
 			wg.Add(1)
-			go func() {
+			go func(r int) {
 				defer wg.Done()
+				pos := r * 4 // start the two readers on distant stripes
 				for {
 					select {
 					case <-stop:
 						return
 					default:
 					}
+					first := int64((pos * stripe) % cfg.TableRows)
+					pos++
 					q0 := time.Now()
-					if _, _, err := w.DB.Query(nil, workload.ScanStatement()); err != nil {
-						return
+					if _, _, err := w.DB.Query(nil, workload.StripeScanStatement(first, stripe)); err != nil {
+						if !errors.Is(err, txn.ErrLockTimeout) {
+							return
+						}
+						// A reader starved past the lock timeout IS a stall
+						// observation: record it and keep querying.
 					}
 					lat := time.Since(q0)
 					mu.Lock()
@@ -276,8 +315,13 @@ func RunConcurrent(cfg Config) (*Result, error) {
 					}
 					served++
 					mu.Unlock()
+					select {
+					case <-stop:
+						return
+					case <-time.After(readerThink):
+					}
 				}
-			}()
+			}(r)
 		}
 		// Let readers warm up so the engine's lock paths are hot.
 		time.Sleep(20 * time.Millisecond)
@@ -287,7 +331,12 @@ func RunConcurrent(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &outcome{window: stats.Duration, maxLat: maxLat, served: served}, nil
+		out := &outcome{window: stats.Duration, maxLat: maxLat, served: served}
+		for _, ls := range w.DB.LockTableStats() {
+			out.lockWait += ls.WriteWaitTime
+			out.waits += ls.WriteWaits
+		}
+		return out, nil
 	}
 
 	vOut, err := runWith("e9-wv", func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
@@ -313,10 +362,21 @@ func RunConcurrent(cfg Config) (*Result, error) {
 		}
 		outs = append(outs, pOut)
 	}
+	for _, wk := range tableLockSweep {
+		wk := wk
+		pOut, err := runWith(fmt.Sprintf("e9-wt%d", wk), func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+			return (&warehouse.ParallelIntegrator{W: w, Workers: wk, TableLocks: true}).Apply(ops)
+		})
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, pOut)
+	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for i, out := range outs {
 		speedup := float64(oOut.window) / float64(out.window)
-		res.Values[i] = []float64{ms(out.window), ms(out.maxLat), float64(out.served), speedup}
+		res.Values[i] = []float64{ms(out.window), ms(out.maxLat), float64(out.served), speedup,
+			ms(out.lockWait), float64(out.waits)}
 	}
 	return res, nil
 }

@@ -1,7 +1,9 @@
 // Package engine is the relational engine the reproduction treats as
 // its "commercial DBMS" substrate: slotted-page heap tables behind
 // buffer pools, a write-ahead log with optional archive mode, strict
-// table-granularity two-phase locking, row-level triggers, an
+// hierarchical two-phase locking (table intention modes over
+// primary-key-range locks, with table locks as the fallback for
+// unanalyzable statements), row-level triggers, an
 // engine-maintained last-modified timestamp column, and a primary-key
 // hash index. Every delta-extraction method in the paper is built
 // against this engine.
@@ -164,6 +166,14 @@ func (db *DB) ArchiveDir() string { return filepath.Join(db.dir, "archive") }
 
 // WAL exposes the log writer (extraction utilities rotate/inspect it).
 func (db *DB) WAL() *wal.Writer { return db.wal }
+
+// LockStats snapshots the lock manager's global counters.
+func (db *DB) LockStats() txn.LockStats { return db.locks.Stats() }
+
+// LockTableStats snapshots the lock manager's per-table counters
+// (acquires, waits, wait time, upgrades, fallbacks, escalations); the
+// bench harness exports them next to throughput numbers.
+func (db *DB) LockTableStats() map[string]txn.TableLockStats { return db.locks.TableStats() }
 
 // Now returns the engine clock's current time.
 func (db *DB) Now() time.Time { return db.opts.Now() }
@@ -523,6 +533,15 @@ func (t *Table) indexDeleteAt(tup catalog.Tuple, rid storage.RID) {
 func (t *Table) indexUpdate(before, after catalog.Tuple, oldRID, rid storage.RID) error {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
+	// In-place update leaving every indexed column unchanged: nothing to
+	// rewire. This is the common shape of a row revision (non-key
+	// columns plus the timestamp), and skipping the btree round-trips
+	// keeps the table-wide index lock uncontended for them.
+	if oldRID == rid &&
+		(t.PKCol < 0 || catalog.Equal(before[t.PKCol], after[t.PKCol])) &&
+		!t.secKeysDifferLocked(before, after) {
+		return nil
+	}
 	if t.PKCol >= 0 {
 		if catalog.Equal(before[t.PKCol], after[t.PKCol]) {
 			// Same key: refresh the RID in place.
@@ -544,4 +563,15 @@ func (t *Table) indexUpdate(before, after catalog.Tuple, oldRID, rid storage.RID
 		return err
 	}
 	return t.secInsertLocked(after, rid)
+}
+
+// secKeysDifferLocked reports whether any secondary-indexed column
+// changed between the two images. Caller holds idxMu.
+func (t *Table) secKeysDifferLocked(before, after catalog.Tuple) bool {
+	for _, si := range t.sec {
+		if !catalog.Equal(before[si.col], after[si.col]) {
+			return true
+		}
+	}
+	return false
 }

@@ -584,13 +584,32 @@ func TestLockConflictTimesOut(t *testing.T) {
 	if _, err := db.Exec(tx1, `INSERT INTO parts (part_id) VALUES (1)`); err != nil {
 		t.Fatal(err)
 	}
+	// Key-range locking: a write to a different key proceeds while tx1
+	// holds its key, but touching tx1's key waits and times out.
 	tx2 := db.Begin()
-	_, err := db.Exec(tx2, `INSERT INTO parts (part_id) VALUES (2)`)
+	if _, err := db.Exec(tx2, `INSERT INTO parts (part_id) VALUES (2)`); err != nil {
+		t.Fatalf("disjoint-key insert should not block: %v", err)
+	}
+	_, err := db.Exec(tx2, `UPDATE parts SET qty = 9 WHERE part_id = 1`)
 	if !errors.Is(err, txn.ErrLockTimeout) {
 		t.Fatalf("err = %v, want lock timeout", err)
 	}
 	tx2.Abort()
 	tx1.Commit()
+
+	// An unanalyzable predicate falls back to the table lock and
+	// conflicts with any concurrent writer.
+	tx3 := db.Begin()
+	if _, err := db.Exec(tx3, `UPDATE parts SET qty = 1 WHERE part_id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	tx4 := db.Begin()
+	_, err = db.Exec(tx4, `UPDATE parts SET qty = 2 WHERE status = 'zzz'`)
+	if !errors.Is(err, txn.ErrLockTimeout) {
+		t.Fatalf("err = %v, want lock timeout for table fallback", err)
+	}
+	tx4.Abort()
+	tx3.Commit()
 }
 
 func TestCreateTableValidation(t *testing.T) {

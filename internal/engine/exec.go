@@ -5,8 +5,10 @@ import (
 	"fmt"
 
 	"opdelta/internal/catalog"
+	"opdelta/internal/keyset"
 	"opdelta/internal/sqlmini"
 	"opdelta/internal/storage"
+	"opdelta/internal/txn"
 	"opdelta/internal/wal"
 )
 
@@ -89,12 +91,32 @@ func coerce(v catalog.Value, col catalog.Column) (catalog.Value, error) {
 	return catalog.Value{}, fmt.Errorf("engine: column %q expects %s, got %s", col.Name, col.Type, v.Type())
 }
 
+// lockForWrite plans the lock set of one DML statement: when the
+// statement's key footprint is analyzable and bounded, exclusive range
+// locks on exactly those primary-key intervals; otherwise (no PK, an
+// unanalyzable predicate, mismatched key literal types, or a provably
+// empty footprint, which is not worth a special case) the whole-table
+// X lock the engine always used. The footprint analysis is the same
+// one the parallel warehouse applier pre-declares with, so statement
+// locks taken here are always contained in a pre-declared set.
+func (tx *Tx) lockForWrite(t *Table, stmt sqlmini.Statement) error {
+	if t.PKCol >= 0 {
+		pk := t.Schema.Column(t.PKCol).Name
+		fp := keyset.StatementFootprint(stmt, t.Schema, pk)
+		if !fp.Whole && len(fp.Ranges) > 0 {
+			return tx.db.locks.AcquireRanges(tx.id, t.Name, txn.Exclusive, fp.Ranges)
+		}
+	}
+	tx.db.locks.NoteTableFallback(t.Name)
+	return tx.lockExclusive(t.Name)
+}
+
 func (db *DB) execInsert(tx *Tx, s *sqlmini.Insert) (Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := tx.lockExclusive(t.Name); err != nil {
+	if err := tx.lockForWrite(t, s); err != nil {
 		return Result{}, err
 	}
 	// Resolve the column list to schema positions once.
@@ -155,7 +177,8 @@ func (db *DB) execInsert(tx *Tx, s *sqlmini.Insert) (Result, error) {
 }
 
 // insertRow applies one validated insert: heap, WAL, index, undo,
-// triggers. The caller holds the table X lock.
+// triggers. The caller holds an exclusive lock covering the row's key
+// (a range lock, or the whole-table X fallback).
 func (db *DB) insertRow(tx *Tx, t *Table, tup catalog.Tuple) error {
 	enc, err := catalog.EncodeTuple(nil, t.Schema, tup)
 	if err != nil {
@@ -172,7 +195,17 @@ func (db *DB) insertRow(tx *Tx, t *Table, tup catalog.Tuple) error {
 	if err := tx.ensureBegun(); err != nil {
 		return err
 	}
-	rid, err := t.heap.Insert(enc)
+	// No mutex orders the (heap mutation, WAL append) pair across
+	// transactions. Redo replays committed records in log order at their
+	// recorded RIDs, so same-slot records from different transactions
+	// must appear in the order the heap performed them — and slot
+	// pinning guarantees that structurally: a slot freed by an in-flight
+	// transaction cannot be reused until that transaction finishes,
+	// which happens only after its commit (or abort) record is already
+	// in the log. Every record this insert appends therefore follows the
+	// freeing transaction's commit record, and the single log's prefix
+	// durability orders everything recovery can see.
+	rid, err := t.heap.InsertOwned(enc, uint64(tx.id))
 	if err != nil {
 		return err
 	}
@@ -235,7 +268,7 @@ func (db *DB) execUpdate(tx *Tx, s *sqlmini.Update) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if err := tx.lockExclusive(t.Name); err != nil {
+	if err := tx.lockForWrite(t, s); err != nil {
 		return Result{}, err
 	}
 	targets, err := db.collectTargets(t, s.Where)
@@ -295,9 +328,17 @@ func (db *DB) updateRow(tx *Tx, t *Table, rid storage.RID, before, after catalog
 	if err := tx.ensureBegun(); err != nil {
 		return err
 	}
-	newRID, err := t.heap.Update(rid, afterEnc)
+	// UpdatePin pins the old slot atomically with the tombstoning when
+	// the record relocates: the slot must survive tombstoned until this
+	// transaction finishes, because rollback restores the before image
+	// at exactly rid. See insertRow for why the pin also makes the WAL
+	// append safe without a table-level ordering mutex.
+	newRID, err := t.heap.UpdatePin(rid, afterEnc, uint64(tx.id))
 	if err != nil {
 		return err
+	}
+	if newRID != rid {
+		tx.pins = append(tx.pins, slotPin{t: t, rid: rid})
 	}
 	if _, err := db.wal.Append(&wal.Record{
 		Type: wal.RecUpdate, Txn: uint64(tx.id), Table: t.Name,
@@ -322,7 +363,7 @@ func (db *DB) execDelete(tx *Tx, s *sqlmini.Delete) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if err := tx.lockExclusive(t.Name); err != nil {
+	if err := tx.lockForWrite(t, s); err != nil {
 		return Result{}, err
 	}
 	targets, err := db.collectTargets(t, s.Where)
@@ -347,9 +388,15 @@ func (db *DB) deleteRow(tx *Tx, t *Table, rid storage.RID, before catalog.Tuple)
 	if err := tx.ensureBegun(); err != nil {
 		return err
 	}
-	if err := t.heap.Delete(rid); err != nil {
+	// DeletePin tombstones the slot and pins it in one critical section:
+	// the slot stays barred from reuse until commit/abort, because
+	// rollback restores the record at exactly this RID. See insertRow
+	// for why the pin also makes the WAL append safe without a
+	// table-level ordering mutex.
+	if err := t.heap.DeletePin(rid, uint64(tx.id)); err != nil {
 		return err
 	}
+	tx.pins = append(tx.pins, slotPin{t: t, rid: rid})
 	if _, err := db.wal.Append(&wal.Record{
 		Type: wal.RecDelete, Txn: uint64(tx.id), Table: t.Name,
 		Page: uint32(rid.Page), Slot: rid.Slot, Before: beforeEnc,
@@ -437,9 +484,6 @@ func (db *DB) IterateSelect(tx *Tx, sel *sqlmini.Select, fn func(catalog.Tuple) 
 	if err != nil {
 		return nil, err
 	}
-	if err := tx.lockShared(t.Name); err != nil {
-		return nil, err
-	}
 	outSchema := t.Schema
 	var proj []int
 	if sel.Columns != nil {
@@ -466,16 +510,32 @@ func (db *DB) IterateSelect(tx *Tx, sel *sqlmini.Select, fn func(catalog.Tuple) 
 		}
 		return fn(out)
 	}
+	// Lock to match the plan. A PK-range plan provably visits only keys
+	// inside its interval, so it takes IS on the table plus a shared
+	// lock on just that range: any uncommitted key inside the interval
+	// is covered by its writer's exclusive range and conflicts, keys
+	// outside are never visited, and inserts into the interval are
+	// blocked (no phantoms). Key-disjoint writers keep running. Every
+	// other plan reads arbitrary heap rows and needs the whole-table S
+	// lock the engine always used.
 	var planRIDs []storage.RID
 	planned := false
 	if kr, ok := pkRangePlan(t, sel.Where); ok {
+		if err := tx.lockRangeShared(t.Name, kr.keysetRange()); err != nil {
+			return nil, err
+		}
 		planRIDs, planned = kr.rangeRIDs(t), true
 	} else if si, kr, ok := secondaryRangePlan(t, sel.Where); ok {
+		if err := tx.lockShared(t.Name); err != nil {
+			return nil, err
+		}
 		rids, err := t.rangeSecondary(si, kr)
 		if err != nil {
 			return nil, err
 		}
 		planRIDs, planned = rids, true
+	} else if err := tx.lockShared(t.Name); err != nil {
+		return nil, err
 	}
 	if planned {
 		for _, rid := range planRIDs {

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"opdelta/internal/catalog"
+	"opdelta/internal/keyset"
 	"opdelta/internal/sqlmini"
 	"opdelta/internal/storage"
 )
@@ -155,6 +156,19 @@ func mergeRanges(a, b *keyRange) *keyRange {
 		} else if c := mustCompare(*b.hi, *out.hi); c < 0 || (c == 0 && b.hiX) {
 			out.hi, out.hiX = b.hi, b.hiX
 		}
+	}
+	return out
+}
+
+// keysetRange converts an index-range plan to the lock manager's range
+// representation.
+func (kr *keyRange) keysetRange() keyset.KeyRange {
+	var out keyset.KeyRange
+	if kr.lo != nil {
+		out.Lo, out.HasLo, out.LoOpen = *kr.lo, true, kr.loX
+	}
+	if kr.hi != nil {
+		out.Hi, out.HasHi, out.HiOpen = *kr.hi, true, kr.hiX
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"opdelta/internal/catalog"
+	"opdelta/internal/keyset"
 	"opdelta/internal/storage"
 	"opdelta/internal/txn"
 	"opdelta/internal/wal"
@@ -19,6 +20,12 @@ type Tx struct {
 	done  bool
 	undo  []undoRec
 	depth int // trigger recursion depth
+	// pins are heap slots this transaction tombstoned (deletes and
+	// relocating updates). They stay barred from reuse until finish:
+	// under key-range locking another transaction may insert into this
+	// table concurrently, and rollback restores the record at exactly
+	// the pinned RID — a reused slot would be clobbered.
+	pins []slotPin
 
 	// onCommit hooks run after the commit record is durable; the
 	// Op-Delta file log uses this to keep op capture off the critical
@@ -38,6 +45,13 @@ type undoRec struct {
 }
 
 const maxTriggerDepth = 8
+
+// slotPin records one heap slot barred from reuse until the pinning
+// transaction finishes.
+type slotPin struct {
+	t   *Table
+	rid storage.RID
+}
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Tx {
@@ -69,6 +83,10 @@ func (tx *Tx) ensureBegun() error {
 
 func (tx *Tx) finish() {
 	tx.done = true
+	for _, p := range tx.pins {
+		p.t.heap.UnpinSlot(p.rid)
+	}
+	tx.pins = nil
 	tx.db.locks.ReleaseAll(tx.id)
 	tx.db.activeMu.Lock()
 	tx.db.active--
@@ -232,9 +250,37 @@ func (tx *Tx) LockTablesExclusive(tables ...string) error {
 	return nil
 }
 
+// LockRangesExclusive takes exclusive key-range locks on table (plus
+// the IX intention lock the hierarchy requires), acquiring the ranges
+// in canonical sorted order. Combined with footprint pre-declaration it
+// lets key-disjoint transactions write the same table concurrently: the
+// parallel warehouse applier declares each source transaction's
+// computed footprint this way, and the executor's per-statement range
+// locks are then already covered. On failure, ranges granted before the
+// failing one stay held until the transaction finishes (Abort releases
+// them).
+func (tx *Tx) LockRangesExclusive(table string, ranges []keyset.KeyRange) error {
+	if tx.done {
+		return fmt.Errorf("engine: transaction %d already finished", tx.id)
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	return tx.db.locks.AcquireRanges(tx.id, t.Name, txn.Exclusive, ranges)
+}
+
 // lockShared acquires a shared lock on table for tx.
 func (tx *Tx) lockShared(table string) error {
 	return tx.db.locks.Acquire(tx.id, table, txn.Shared)
+}
+
+// lockRangeShared takes a shared key-range lock (plus the IS intention
+// lock) covering one PK interval. Readers whose plan provably visits
+// only that interval use it instead of the whole-table S lock, so they
+// coexist with writers holding exclusive ranges elsewhere in the table.
+func (tx *Tx) lockRangeShared(table string, r keyset.KeyRange) error {
+	return tx.db.locks.AcquireRanges(tx.id, table, txn.Shared, []keyset.KeyRange{r})
 }
 
 // lockExclusive acquires an exclusive lock on table for tx.

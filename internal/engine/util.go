@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"opdelta/internal/catalog"
+	"opdelta/internal/keyset"
+	"opdelta/internal/txn"
 )
 
 // InsertTuple inserts one pre-built tuple through the full engine write
@@ -23,11 +25,20 @@ func (db *DB) InsertTuple(tx *Tx, table string, tup catalog.Tuple) error {
 	if err != nil {
 		return err
 	}
-	if err := tx.lockExclusive(t.Name); err != nil {
-		return err
-	}
 	if err := t.Schema.Validate(tup); err != nil {
 		return fmt.Errorf("engine: %s: %w", table, err)
+	}
+	// A keyed insert locks just its key, like the SQL insert path does,
+	// so key-disjoint bulk loads and view maintenance can interleave.
+	if t.PKCol >= 0 && !tup[t.PKCol].IsNull() {
+		err = tx.db.locks.AcquireRanges(tx.id, t.Name, txn.Exclusive,
+			[]keyset.KeyRange{keyset.Point(tup[t.PKCol])})
+	} else {
+		tx.db.locks.NoteTableFallback(t.Name)
+		err = tx.lockExclusive(t.Name)
+	}
+	if err != nil {
+		return err
 	}
 	return db.insertRow(tx, t, tup)
 }

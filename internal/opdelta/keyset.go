@@ -1,264 +1,32 @@
 package opdelta
 
 import (
-	"strings"
-
 	"opdelta/internal/catalog"
+	"opdelta/internal/keyset"
 	"opdelta/internal/sqlmini"
 )
 
-// Conflict footprints for the parallel integrator: a Footprint
-// over-approximates the set of primary-key values one statement can
-// touch, as a union of closed intervals. Two source transactions whose
-// footprints are disjoint on every table commute at the warehouse, so
-// the integrator may replay them concurrently; anything the analysis
-// cannot bound degrades to the whole table, which only costs
-// parallelism, never correctness.
+// Conflict footprints for the parallel integrator. The interval algebra
+// itself lives in internal/keyset so the engine's lock manager and the
+// executor's lock planning share it (opdelta imports engine, so the
+// algebra cannot live here without a cycle); these aliases preserve the
+// original opdelta API.
 
-// KeyRange is a closed interval over primary-key values. An unset bound
-// flag means the interval is unbounded on that side; a point key is the
-// degenerate interval [v, v].
-type KeyRange struct {
-	Lo, Hi       catalog.Value
-	HasLo, HasHi bool
-}
+// KeyRange is an interval over primary-key values; see keyset.KeyRange.
+type KeyRange = keyset.KeyRange
 
-// Footprint is the key set one statement touches on one table. Whole
-// marks the conservative fallback — the statement may touch any key —
-// in which case Ranges is meaningless.
-type Footprint struct {
-	Whole  bool
-	Ranges []KeyRange
-}
+// Footprint is the key set one statement touches on one table; see
+// keyset.Footprint.
+type Footprint = keyset.Footprint
 
 // WholeTable is the footprint that conflicts with everything on its
 // table.
-func WholeTable() Footprint { return Footprint{Whole: true} }
-
-func pointRange(v catalog.Value) KeyRange {
-	return KeyRange{Lo: v, Hi: v, HasLo: true, HasHi: true}
-}
+func WholeTable() Footprint { return keyset.WholeTable() }
 
 // StatementFootprint computes the key footprint of stmt on its own
-// table, given the source schema and the primary-key column name. An
-// empty pk, an unanalyzable predicate, or a statement kind the analysis
-// doesn't model all yield the whole-table footprint.
+// table; see keyset.StatementFootprint.
 func StatementFootprint(stmt sqlmini.Statement, schema *catalog.Schema, pk string) Footprint {
-	if pk == "" {
-		return WholeTable()
-	}
-	switch s := stmt.(type) {
-	case *sqlmini.Insert:
-		return insertFootprint(s, schema, pk)
-	case *sqlmini.Delete:
-		return predicateFootprint(s.Where, pk)
-	case *sqlmini.Update:
-		fp := predicateFootprint(s.Where, pk)
-		// An assignment to the key itself adds the assigned value (when
-		// literal) to the write set; anything computed defeats analysis.
-		for _, a := range s.Assigns {
-			if !strings.EqualFold(a.Col, pk) {
-				continue
-			}
-			lit, ok := a.Value.(*sqlmini.Literal)
-			if !ok {
-				return WholeTable()
-			}
-			fp = unionFootprints(fp, Footprint{Ranges: []KeyRange{pointRange(lit.Val)}})
-		}
-		return fp
-	default:
-		return WholeTable()
-	}
+	return keyset.StatementFootprint(stmt, schema, pk)
 }
 
-// insertFootprint collects the literal key values of an INSERT's rows.
-func insertFootprint(s *sqlmini.Insert, schema *catalog.Schema, pk string) Footprint {
-	pkIdx := -1
-	if s.Columns != nil {
-		for i, name := range s.Columns {
-			if strings.EqualFold(name, pk) {
-				pkIdx = i
-			}
-		}
-	} else if schema != nil {
-		if i, ok := schema.ColIndex(pk); ok {
-			pkIdx = i
-		}
-	}
-	if pkIdx < 0 {
-		// The key column isn't assigned (or the schema is unknown):
-		// can't tell which keys appear.
-		return WholeTable()
-	}
-	var fp Footprint
-	for _, row := range s.Rows {
-		if pkIdx >= len(row) {
-			return WholeTable()
-		}
-		lit, ok := row[pkIdx].(*sqlmini.Literal)
-		if !ok {
-			return WholeTable()
-		}
-		fp.Ranges = append(fp.Ranges, pointRange(lit.Val))
-	}
-	return fp
-}
-
-// predicateFootprint extracts key bounds from a WHERE clause. Only
-// direct comparisons between the key column and literals constrain the
-// footprint; AND intersects, OR unions, and everything else — including
-// a nil predicate — is the whole table. Strict comparisons widen to
-// their closed counterparts, which is sound for an over-approximation.
-func predicateFootprint(e sqlmini.Expr, pk string) Footprint {
-	switch x := e.(type) {
-	case *sqlmini.Binary:
-		switch x.Op {
-		case sqlmini.OpAnd:
-			return intersectFootprints(predicateFootprint(x.L, pk), predicateFootprint(x.R, pk))
-		case sqlmini.OpOr:
-			return unionFootprints(predicateFootprint(x.L, pk), predicateFootprint(x.R, pk))
-		case sqlmini.OpEq, sqlmini.OpLt, sqlmini.OpLe, sqlmini.OpGt, sqlmini.OpGe:
-			col, lit, op, ok := keyCompare(x)
-			if !ok || !strings.EqualFold(col, pk) {
-				return WholeTable()
-			}
-			switch op {
-			case sqlmini.OpEq:
-				return Footprint{Ranges: []KeyRange{pointRange(lit)}}
-			case sqlmini.OpLt, sqlmini.OpLe:
-				return Footprint{Ranges: []KeyRange{{Hi: lit, HasHi: true}}}
-			default: // OpGt, OpGe
-				return Footprint{Ranges: []KeyRange{{Lo: lit, HasLo: true}}}
-			}
-		}
-	}
-	return WholeTable()
-}
-
-// keyCompare normalizes a comparison to (column op literal), flipping
-// the operator when the literal is on the left.
-func keyCompare(x *sqlmini.Binary) (col string, lit catalog.Value, op sqlmini.BinOp, ok bool) {
-	if c, isCol := x.L.(*sqlmini.ColRef); isCol {
-		if l, isLit := x.R.(*sqlmini.Literal); isLit {
-			return c.Name, l.Val, x.Op, true
-		}
-		return "", catalog.Value{}, 0, false
-	}
-	if l, isLit := x.L.(*sqlmini.Literal); isLit {
-		if c, isCol := x.R.(*sqlmini.ColRef); isCol {
-			flip := map[sqlmini.BinOp]sqlmini.BinOp{
-				sqlmini.OpEq: sqlmini.OpEq,
-				sqlmini.OpLt: sqlmini.OpGt, sqlmini.OpLe: sqlmini.OpGe,
-				sqlmini.OpGt: sqlmini.OpLt, sqlmini.OpGe: sqlmini.OpLe,
-			}
-			return c.Name, l.Val, flip[x.Op], true
-		}
-	}
-	return "", catalog.Value{}, 0, false
-}
-
-// cmpBound compares two values, reporting incomparable pairs (mixed or
-// null types) so callers can fall back conservatively.
-func cmpBound(a, b catalog.Value) (int, bool) {
-	if a.IsNull() || b.IsNull() {
-		return 0, false
-	}
-	c, err := catalog.Compare(a, b)
-	if err != nil {
-		return 0, false
-	}
-	return c, true
-}
-
-// rangesOverlap reports whether two intervals can share a key. Any
-// incomparable bound counts as overlapping.
-func rangesOverlap(a, b KeyRange) bool {
-	if a.HasHi && b.HasLo {
-		if c, ok := cmpBound(a.Hi, b.Lo); !ok || c < 0 {
-			if ok {
-				return false
-			}
-			return true
-		}
-	}
-	if b.HasHi && a.HasLo {
-		if c, ok := cmpBound(b.Hi, a.Lo); !ok || c < 0 {
-			if ok {
-				return false
-			}
-			return true
-		}
-	}
-	return true
-}
-
-// intersectRange returns the overlap of two intervals, when non-empty.
-func intersectRange(a, b KeyRange) (KeyRange, bool) {
-	if !rangesOverlap(a, b) {
-		return KeyRange{}, false
-	}
-	out := a
-	if b.HasLo {
-		if !out.HasLo {
-			out.Lo, out.HasLo = b.Lo, true
-		} else if c, ok := cmpBound(b.Lo, out.Lo); ok && c > 0 {
-			out.Lo = b.Lo
-		}
-	}
-	if b.HasHi {
-		if !out.HasHi {
-			out.Hi, out.HasHi = b.Hi, true
-		} else if c, ok := cmpBound(b.Hi, out.Hi); ok && c < 0 {
-			out.Hi = b.Hi
-		}
-	}
-	return out, true
-}
-
-func unionFootprints(a, b Footprint) Footprint {
-	if a.Whole || b.Whole {
-		return WholeTable()
-	}
-	return Footprint{Ranges: append(append([]KeyRange(nil), a.Ranges...), b.Ranges...)}
-}
-
-func intersectFootprints(a, b Footprint) Footprint {
-	if a.Whole {
-		return b
-	}
-	if b.Whole {
-		return a
-	}
-	var out Footprint
-	for _, ra := range a.Ranges {
-		for _, rb := range b.Ranges {
-			if r, ok := intersectRange(ra, rb); ok {
-				out.Ranges = append(out.Ranges, r)
-			}
-		}
-	}
-	return out
-}
-
-// Overlaps reports whether two footprints can touch a common key.
-func (f Footprint) Overlaps(g Footprint) bool {
-	if f.Whole || g.Whole {
-		return true
-	}
-	for _, ra := range f.Ranges {
-		for _, rb := range g.Ranges {
-			if rangesOverlap(ra, rb) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// Union merges g into f.
-func (f Footprint) Union(g Footprint) Footprint { return unionFootprints(f, g) }
-
-// Empty reports a footprint that touches no keys (an UPDATE whose
-// predicate is unsatisfiable still parses to this).
-func (f Footprint) Empty() bool { return !f.Whole && len(f.Ranges) == 0 }
+func pointRange(v catalog.Value) KeyRange { return keyset.Point(v) }

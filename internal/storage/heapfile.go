@@ -31,7 +31,39 @@ type HeapFile struct {
 	// freeHint maps pageID -> last observed free bytes. It is a hint:
 	// stale entries are corrected on the next insert attempt.
 	freeHint map[PageID]int
-	nlive    int64 // live record count (maintained, verified by tests)
+	// pinned maps tombstoned slots to the owner (transaction id) that
+	// freed them. Inserts by OTHER owners must not reuse a pinned slot:
+	// the freeing transaction's rollback restores the record at exactly
+	// that RID, and a concurrent (key-disjoint) insert occupying it
+	// would be clobbered. The owner itself may reuse its own pins —
+	// undo runs in reverse order, so the reusing insert is undone
+	// before the delete's restore. Directed placements (PlaceAt) ignore
+	// pins — they ARE the owner's restore. Keyed by page so the
+	// per-insert check stays O(1) even when one batch transaction pins
+	// thousands of slots.
+	pinned map[PageID]map[uint16]uint64
+	nlive  int64 // live record count (maintained, verified by tests)
+	// latches serialize byte-level access to page images, striped by
+	// page id. The buffer pool's shard locks only protect frame
+	// bookkeeping (pin counts, LRU); the bytes of a fetched page are
+	// mutated outside them, so every read or write of page content must
+	// hold that page's stripe. This is what lets key-disjoint writers
+	// proceed in parallel: h.mu covers only allocation-level state
+	// (freeHint, pins, nlive, file growth), not row traffic.
+	//
+	// Lock order: h.mu (if held) before a stripe; never two stripes at
+	// once; pool shard locks are leaves below stripes.
+	latches [latchStripes]sync.Mutex
+}
+
+// latchStripes is the number of page-latch stripes. Collisions between
+// distinct hot pages are rare at this size and only cost a little
+// false sharing, never deadlock (one stripe held at a time).
+const latchStripes = 64
+
+// latch returns the stripe latch guarding page id's content.
+func (h *HeapFile) latch(id PageID) *sync.Mutex {
+	return &h.latches[uint32(id)%latchStripes]
 }
 
 // OpenHeapFile opens the heap file at path with a pool of poolPages
@@ -84,7 +116,12 @@ func (h *HeapFile) NumRecords() int64 {
 func (h *HeapFile) NumPages() PageID { return h.disk.NumPages() }
 
 // Insert stores rec and returns its RID.
-func (h *HeapFile) Insert(rec []byte) (RID, error) {
+func (h *HeapFile) Insert(rec []byte) (RID, error) { return h.InsertOwned(rec, 0) }
+
+// InsertOwned is Insert on behalf of a transaction: slots pinned by
+// owner itself are eligible for reuse, slots pinned by anyone else are
+// not. Owner 0 means "no transaction" and never matches a pin.
+func (h *HeapFile) InsertOwned(rec []byte, owner uint64) (RID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	// Try pages the hint claims can hold the record, newest first
@@ -95,7 +132,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		if h.freeHint[id] < len(rec)+slotSize {
 			continue
 		}
-		rid, err := h.insertIntoLocked(id, rec)
+		rid, err := h.insertIntoLocked(id, rec, owner)
 		if err == nil {
 			return rid, nil
 		}
@@ -104,28 +141,76 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		}
 		// Hint was stale; fall through and keep looking.
 	}
-	// No page fits: allocate a new one.
+	// No page fits: allocate a new one. The page becomes visible to
+	// Scan as soon as the disk grows, so even the first insert into it
+	// runs under its stripe.
 	id, page, err := h.pool.NewPage()
 	if err != nil {
 		return InvalidRID, err
 	}
+	l := h.latch(id)
+	l.Lock()
 	slot, err := page.Insert(rec)
 	if err != nil {
 		h.pool.Unpin(id, true)
+		l.Unlock()
 		return InvalidRID, err
 	}
 	h.freeHint[id] = page.FreeSpace()
 	h.pool.Unpin(id, true)
+	l.Unlock()
 	h.nlive++
 	return RID{Page: id, Slot: slot}, nil
 }
 
-func (h *HeapFile) insertIntoLocked(id PageID, rec []byte) (RID, error) {
+// pinLocked records rid as barred from reuse by other owners. Caller
+// holds h.mu.
+func (h *HeapFile) pinLocked(rid RID, owner uint64) {
+	if h.pinned == nil {
+		h.pinned = make(map[PageID]map[uint16]uint64)
+	}
+	slots := h.pinned[rid.Page]
+	if slots == nil {
+		slots = make(map[uint16]uint64)
+		h.pinned[rid.Page] = slots
+	}
+	slots[rid.Slot] = owner
+}
+
+// UnpinSlot lifts a pin left by DeletePin or UpdatePin.
+func (h *HeapFile) UnpinSlot(rid RID) {
+	h.mu.Lock()
+	if slots := h.pinned[rid.Page]; slots != nil {
+		delete(slots, rid.Slot)
+		if len(slots) == 0 {
+			delete(h.pinned, rid.Page)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// avoidFn returns the tombstone-reuse veto for one page, or nil when no
+// slot of that page is pinned (the common case, kept allocation-free).
+func (h *HeapFile) avoidFn(id PageID, owner uint64) func(uint16) bool {
+	slots := h.pinned[id]
+	if len(slots) == 0 {
+		return nil
+	}
+	return func(slot uint16) bool {
+		by, ok := slots[slot]
+		return ok && by != owner
+	}
+}
+
+func (h *HeapFile) insertIntoLocked(id PageID, rec []byte, owner uint64) (RID, error) {
+	l := h.latch(id)
+	l.Lock()
+	defer l.Unlock()
 	page, err := h.pool.Fetch(id)
 	if err != nil {
 		return InvalidRID, err
 	}
-	slot, err := page.Insert(rec)
+	slot, err := page.InsertAvoid(rec, h.avoidFn(id, owner))
 	if err != nil {
 		h.freeHint[id] = page.FreeSpace()
 		h.pool.Unpin(id, false)
@@ -139,6 +224,9 @@ func (h *HeapFile) insertIntoLocked(id PageID, rec []byte) (RID, error) {
 
 // Get returns a copy of the record at rid.
 func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	l := h.latch(rid.Page)
+	l.Lock()
+	defer l.Unlock()
 	page, err := h.pool.Fetch(rid.Page)
 	if err != nil {
 		return nil, err
@@ -155,9 +243,20 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 }
 
 // Delete removes the record at rid.
-func (h *HeapFile) Delete(rid RID) error {
+func (h *HeapFile) Delete(rid RID) error { return h.delete(rid, 0, false) }
+
+// DeletePin removes the record at rid and pins the freed slot for owner
+// in the same critical section, so no concurrent insert can reuse it
+// before the pin is visible. The transaction layer uses it for
+// transactional deletes, unpinning at commit/abort.
+func (h *HeapFile) DeletePin(rid RID, owner uint64) error { return h.delete(rid, owner, true) }
+
+func (h *HeapFile) delete(rid RID, owner uint64, pin bool) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	l := h.latch(rid.Page)
+	l.Lock()
+	defer l.Unlock()
 	page, err := h.pool.Fetch(rid.Page)
 	if err != nil {
 		return err
@@ -165,6 +264,9 @@ func (h *HeapFile) Delete(rid RID) error {
 	if err := page.Delete(rid.Slot); err != nil {
 		h.pool.Unpin(rid.Page, false)
 		return err
+	}
+	if pin {
+		h.pinLocked(rid, owner)
 	}
 	h.freeHint[rid.Page] = page.FreeSpace()
 	h.pool.Unpin(rid.Page, true)
@@ -176,53 +278,90 @@ func (h *HeapFile) Delete(rid RID) error {
 // its page the record is relocated and the new RID returned; callers
 // must treat the returned RID as authoritative.
 func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
-	h.mu.Lock()
+	return h.update(rid, rec, 0, false)
+}
+
+// UpdatePin is Update on behalf of a transaction, additionally pinning
+// the old slot for owner when the record relocates — atomically with
+// the tombstoning, so concurrent inserts never see the freed slot
+// unpinned.
+func (h *HeapFile) UpdatePin(rid RID, rec []byte, owner uint64) (RID, error) {
+	return h.update(rid, rec, owner, true)
+}
+
+func (h *HeapFile) update(rid RID, rec []byte, owner uint64, pin bool) (RID, error) {
+	// Fast path: an in-place update touches only this page's bytes, so
+	// it runs under the page stripe alone — no h.mu. This is the hot
+	// path for parallel appliers; taking h.mu here would physically
+	// serialize key-disjoint writers that the lock manager already
+	// proved disjoint. The freeHint refresh is deliberately skipped:
+	// hints are stale-tolerated (a too-optimistic hint is corrected on
+	// the next insert attempt, a too-pessimistic one just skips a page).
+	l := h.latch(rid.Page)
+	l.Lock()
 	page, err := h.pool.Fetch(rid.Page)
 	if err != nil {
-		h.mu.Unlock()
+		l.Unlock()
 		return InvalidRID, err
 	}
 	err = page.Update(rid.Slot, rec)
 	if err == nil {
-		h.freeHint[rid.Page] = page.FreeSpace()
 		h.pool.Unpin(rid.Page, true)
-		h.mu.Unlock()
+		l.Unlock()
 		return rid, nil
 	}
 	h.pool.Unpin(rid.Page, false)
+	l.Unlock()
 	if !errors.Is(err, ErrPageFull) {
-		h.mu.Unlock()
 		return InvalidRID, err
 	}
-	// Relocate: delete here, insert elsewhere. Do both under h.mu via
-	// the unlocked internals to keep the operation atomic w.r.t. other
-	// heap mutators.
+	// Relocate: delete here, insert elsewhere. The record cannot have
+	// moved or changed between dropping the stripe and reacquiring it —
+	// the caller holds the row's exclusive lock — so re-fetching and
+	// deleting the same slot is safe. h.mu keeps the tombstone, its pin
+	// and the free-space bookkeeping atomic w.r.t. other allocators.
+	h.mu.Lock()
+	l.Lock()
 	page, err = h.pool.Fetch(rid.Page)
 	if err != nil {
+		l.Unlock()
 		h.mu.Unlock()
 		return InvalidRID, err
 	}
 	if err := page.Delete(rid.Slot); err != nil {
 		h.pool.Unpin(rid.Page, false)
+		l.Unlock()
 		h.mu.Unlock()
 		return InvalidRID, err
 	}
+	if pin {
+		h.pinLocked(rid, owner)
+	}
 	h.freeHint[rid.Page] = page.FreeSpace()
 	h.pool.Unpin(rid.Page, true)
+	l.Unlock()
 	h.nlive--
 	h.mu.Unlock()
 
-	return h.Insert(rec)
+	newRID, err := h.InsertOwned(rec, owner)
+	if err != nil && pin {
+		h.UnpinSlot(rid)
+	}
+	return newRID, err
 }
 
 // Scan iterates all live records in (page, slot) order, invoking fn with
 // the RID and record bytes (valid only during the call). Iteration stops
-// when fn returns false or on error.
+// when fn returns false or on error. fn runs under the page's stripe
+// latch and must not call back into the heap.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) (bool, error)) error {
 	n := h.disk.NumPages()
 	for id := PageID(0); id < n; id++ {
+		l := h.latch(id)
+		l.Lock()
 		page, err := h.pool.Fetch(id)
 		if err != nil {
+			l.Unlock()
 			return err
 		}
 		var cont = true
@@ -232,6 +371,7 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) (bool, error)) error {
 			return cont && ferr == nil
 		})
 		h.pool.Unpin(id, false)
+		l.Unlock()
 		if ferr != nil {
 			return ferr
 		}

@@ -93,6 +93,14 @@ func (p *Page) FreeSpace() int {
 // a tombstoned slot when one exists. Returns ErrPageFull when rec does
 // not fit.
 func (p *Page) Insert(rec []byte) (uint16, error) {
+	return p.InsertAvoid(rec, nil)
+}
+
+// InsertAvoid is Insert with a tombstone-reuse veto: slots for which
+// avoid returns true are skipped. The heap layer uses it to keep
+// inserts out of slots freed by still-in-flight transactions, whose
+// rollback would restore the record at exactly that slot.
+func (p *Page) InsertAvoid(rec []byte, avoid func(uint16) bool) (uint16, error) {
 	if len(rec) == 0 {
 		return 0, errors.New("storage: empty record")
 	}
@@ -104,7 +112,7 @@ func (p *Page) Insert(rec []byte) (uint16, error) {
 	reuse := false
 	n := p.slotCount()
 	for i := uint16(0); i < n; i++ {
-		if off, _ := p.slot(i); off == 0 {
+		if off, _ := p.slot(i); off == 0 && (avoid == nil || !avoid(i)) {
 			slotNo, reuse = i, true
 			break
 		}

@@ -67,8 +67,11 @@ func (h *HeapFile) PlaceAt(rid RID, rec []byte) error {
 		h.freeHint[id] = page.FreeSpace()
 		h.pool.Unpin(id, true)
 	}
+	l := h.latch(rid.Page)
+	l.Lock()
 	page, err := h.pool.Fetch(rid.Page)
 	if err != nil {
+		l.Unlock()
 		return err
 	}
 	wasLive := false
@@ -77,10 +80,12 @@ func (h *HeapFile) PlaceAt(rid RID, rec []byte) error {
 	}
 	if err := page.PlaceAt(rid.Slot, rec); err != nil {
 		h.pool.Unpin(rid.Page, false)
+		l.Unlock()
 		return fmt.Errorf("storage: redo place at %v: %w", rid, err)
 	}
 	h.freeHint[rid.Page] = page.FreeSpace()
 	h.pool.Unpin(rid.Page, true)
+	l.Unlock()
 	if !wasLive {
 		h.nlive++
 	}
@@ -95,6 +100,9 @@ func (h *HeapFile) DeleteIfLive(rid RID) error {
 	if h.disk.NumPages() <= rid.Page {
 		return nil
 	}
+	l := h.latch(rid.Page)
+	l.Lock()
+	defer l.Unlock()
 	page, err := h.pool.Fetch(rid.Page)
 	if err != nil {
 		return err

@@ -1,17 +1,28 @@
-// Package txn provides transaction identity and table-granularity
-// locking for the engine. Locking is strict two-phase: transactions
-// acquire shared or exclusive table locks on demand, hold them until
+// Package txn provides transaction identity and hierarchical locking
+// for the engine. Locking is strict two-phase at two granularities: a
+// table level carrying the classic multi-granularity modes (IS, IX, S,
+// SIX, X) and a primary-key-range level beneath it, held in a per-table
+// interval tree. Transactions acquire locks on demand, hold them until
 // commit or abort, and support shared-to-exclusive upgrade. Conflicts
-// wait with a timeout, so a deadlock surfaces as ErrLockTimeout rather
-// than a hang.
+// wait in FIFO order with a timeout, so a deadlock surfaces as
+// ErrLockTimeout rather than a hang.
+//
+// Invariant: a transaction never holds a range lock without also
+// holding at least the matching intention mode (IS for shared ranges,
+// IX for exclusive ranges) on the table. Whole-table requests therefore
+// only consult the table-mode holders; range-versus-range conflicts are
+// resolved against the interval tree.
 package txn
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"opdelta/internal/keyset"
 )
 
 // ID identifies a transaction. IDs are strictly increasing within one
@@ -37,27 +48,157 @@ func (m *Manager) Begin() ID {
 	return ID(m.next.Add(1))
 }
 
-// LockMode is shared or exclusive.
+// LockMode is a multi-granularity lock mode. Range locks use only
+// Shared and Exclusive; the intention modes exist at the table level so
+// whole-table requests can detect range activity without scanning the
+// interval tree.
 type LockMode uint8
 
-// Lock modes.
+// Lock modes, weakest to strongest.
 const (
-	Shared LockMode = iota + 1
-	Exclusive
+	IntentShared          LockMode = iota + 1 // IS: intends shared range locks
+	IntentExclusive                           // IX: intends exclusive range locks
+	Shared                                    // S: reads the whole table
+	SharedIntentExclusive                     // SIX: S plus IX
+	Exclusive                                 // X: owns the whole table
 )
 
 func (m LockMode) String() string {
-	if m == Shared {
+	switch m {
+	case IntentShared:
+		return "IS"
+	case IntentExclusive:
+		return "IX"
+	case Shared:
 		return "S"
+	case SharedIntentExclusive:
+		return "SIX"
+	case Exclusive:
+		return "X"
 	}
-	return "X"
+	return fmt.Sprintf("LockMode(%d)", uint8(m))
+}
+
+// compat is the standard multi-granularity compatibility matrix,
+// indexed by mode value.
+var compat = [6][6]bool{
+	IntentShared:          {IntentShared: true, IntentExclusive: true, Shared: true, SharedIntentExclusive: true},
+	IntentExclusive:       {IntentShared: true, IntentExclusive: true},
+	Shared:                {IntentShared: true, Shared: true},
+	SharedIntentExclusive: {IntentShared: true},
+	Exclusive:             {},
+}
+
+// Compatible reports whether two transactions may hold a and b on the
+// same table simultaneously.
+func Compatible(a, b LockMode) bool {
+	if a == 0 || b == 0 {
+		return true
+	}
+	return compat[a][b]
+}
+
+// covers reports whether holding held makes a request for want
+// redundant. This is the lattice order, not numeric order: S does not
+// cover IX and IX does not cover S.
+func covers(held, want LockMode) bool {
+	if held == want {
+		return held != 0
+	}
+	switch held {
+	case Exclusive:
+		return want != 0
+	case SharedIntentExclusive:
+		return want == IntentShared || want == IntentExclusive || want == Shared
+	case Shared:
+		return want == IntentShared
+	case IntentExclusive:
+		return want == IntentShared
+	}
+	return false
+}
+
+// lub is the least mode covering both a and b. The only pair with a
+// strictly greater join than either side is {S, IX} -> SIX.
+func lub(a, b LockMode) LockMode {
+	switch {
+	case a == 0:
+		return b
+	case covers(a, b):
+		return a
+	case covers(b, a):
+		return b
+	default:
+		return SharedIntentExclusive
+	}
+}
+
+// intentFor maps a range mode to the table intention it requires.
+func intentFor(mode LockMode) LockMode {
+	if mode == Exclusive {
+		return IntentExclusive
+	}
+	return IntentShared
+}
+
+// tableModeCoversRange reports whether a held table mode already
+// implies a range lock of the given mode, making the range acquisition
+// a no-op.
+func tableModeCoversRange(held, mode LockMode) bool {
+	if mode == Exclusive {
+		return held == Exclusive
+	}
+	return held == Shared || held == SharedIntentExclusive || held == Exclusive
 }
 
 // ErrLockTimeout reports a lock wait that exceeded the manager's
-// timeout, the usual symptom of a deadlock under table locking.
+// timeout, the usual symptom of a deadlock under 2PL.
 var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
 
-// LockManager grants table locks to transactions.
+// escalateThreshold is the number of live range locks one transaction
+// may hold on one table before the manager tries to trade them for a
+// single table X lock. Escalation is opportunistic — it is skipped when
+// other holders or earlier waiters are in the way — so it bounds lock
+// bookkeeping for bulk writers without ever blocking them.
+const escalateThreshold = 1024
+
+// TableLockStats are per-table lock-manager counters, exported through
+// the bench harness so lock-wait trajectories land in BENCH_*.json.
+type TableLockStats struct {
+	Acquires       uint64        // granted requests (table and range)
+	RangeAcquires  uint64        // granted range requests
+	Waits          uint64        // requests that blocked at least once
+	WaitTime       time.Duration // total time requests spent blocked
+	WriteWaits     uint64        // blocked requests in a write mode (IX, SIX, X)
+	WriteWaitTime  time.Duration // blocked time of write-mode requests
+	Upgrades       uint64        // held-mode upgrades (table or range)
+	TableFallbacks uint64        // DML that fell back to a table lock
+	Escalations    uint64        // range sets escalated to table X
+}
+
+func (s *TableLockStats) add(o TableLockStats) {
+	s.Acquires += o.Acquires
+	s.RangeAcquires += o.RangeAcquires
+	s.Waits += o.Waits
+	s.WaitTime += o.WaitTime
+	s.WriteWaits += o.WriteWaits
+	s.WriteWaitTime += o.WriteWaitTime
+	s.Upgrades += o.Upgrades
+	s.TableFallbacks += o.TableFallbacks
+	s.Escalations += o.Escalations
+}
+
+// isWriteMode classifies a requested mode for wait accounting: writer
+// waits (appliers blocking on each other) and reader waits (scans
+// blocked behind writers) tell very different performance stories.
+func isWriteMode(m LockMode) bool {
+	return m == IntentExclusive || m == SharedIntentExclusive || m == Exclusive
+}
+
+// Add accumulates o into s (for cross-table totals).
+func (s *TableLockStats) Add(o TableLockStats) { s.add(o) }
+
+// LockManager grants table and key-range locks to transactions.
 type LockManager struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -68,18 +209,28 @@ type LockManager struct {
 }
 
 type tableLock struct {
-	holders map[ID]LockMode // current grants
+	name    string
+	holders map[ID]LockMode // current table-granularity grants
+	ranges  rangeTree       // granted range locks
+	nranges map[ID]int      // live range-lock count per holder
 	// queue holds waiting requests in arrival order. Grants respect the
 	// queue: a request may only jump ahead of earlier waiters it does
-	// not conflict with, so neither readers nor writers starve.
+	// not conflict with — or waiters that are themselves blocked by the
+	// requester's holdings, which it must bypass to avoid deadlocking
+	// on itself — so neither readers nor writers starve.
 	queue   []waiter
 	nextSeq uint64
+	stats   TableLockStats
 }
 
+// waiter is one blocked request: a table-mode request, or (isRange) a
+// single key-range request.
 type waiter struct {
-	seq  uint64
-	tx   ID
-	mode LockMode
+	seq     uint64
+	tx      ID
+	mode    LockMode
+	isRange bool
+	r       keyset.KeyRange
 }
 
 // removeWaiter deletes the queue entry with the given seq.
@@ -92,14 +243,55 @@ func (tl *tableLock) removeWaiter(seq uint64) {
 	}
 }
 
-// conflictsWithEarlier reports whether any waiter ahead of seq would be
-// bypassed unfairly by granting (tx, mode) now.
-func (tl *tableLock) conflictsWithEarlier(seq uint64, tx ID, mode LockMode) bool {
+// wouldConflict reports whether granting both a and b to different
+// transactions is impossible. Range requests are represented at the
+// table level by the intention mode they imply.
+func wouldConflict(a, b waiter) bool {
+	switch {
+	case a.isRange && b.isRange:
+		return (a.mode == Exclusive || b.mode == Exclusive) && a.r.Intersects(b.r)
+	case a.isRange:
+		return !Compatible(b.mode, intentFor(a.mode))
+	case b.isRange:
+		return !Compatible(a.mode, intentFor(b.mode))
+	default:
+		return !Compatible(a.mode, b.mode)
+	}
+}
+
+// blockedByLocked reports whether waiter w cannot be granted right now
+// because of locks tx itself holds. A requester must bypass such
+// waiters in the FIFO check: waiting behind a request that is waiting
+// on us is a self-deadlock.
+func (tl *tableLock) blockedByLocked(tx ID, w waiter) bool {
+	held := tl.holders[tx]
+	if w.isRange {
+		if held != 0 && !Compatible(intentFor(w.mode), held) {
+			return true
+		}
+		blocked := false
+		tl.ranges.overlapping(w.r, func(n *rangeNode) bool {
+			if n.tx == tx && (n.mode == Exclusive || w.mode == Exclusive) {
+				blocked = true
+				return false
+			}
+			return true
+		})
+		return blocked
+	}
+	// A table-mode request sees tx's range locks through tx's intention
+	// mode, which held carries by the package invariant.
+	return held != 0 && !Compatible(w.mode, held)
+}
+
+// conflictsWithEarlierLocked reports whether granting me (queued at
+// seq) would unfairly bypass an earlier waiter.
+func (tl *tableLock) conflictsWithEarlierLocked(seq uint64, me waiter) bool {
 	for _, w := range tl.queue {
-		if w.seq >= seq || w.tx == tx {
+		if w.seq >= seq || w.tx == me.tx {
 			continue
 		}
-		if mode == Exclusive || w.mode == Exclusive {
+		if wouldConflict(w, me) && !tl.blockedByLocked(me.tx, w) {
 			return true
 		}
 	}
@@ -117,69 +309,228 @@ func NewLockManager(timeout time.Duration) *LockManager {
 	return lm
 }
 
-// Acquire grants tx a lock on table in the requested mode, blocking
-// while conflicting locks are held by other transactions. Re-acquiring
-// an already-held mode is a no-op; Shared->Exclusive upgrade is
-// supported and also waits for other holders to drain.
+func (lm *LockManager) tableLocked(table string) *tableLock {
+	tl := lm.tables[table]
+	if tl == nil {
+		tl = &tableLock{name: table, holders: make(map[ID]LockMode), nranges: make(map[ID]int)}
+		lm.tables[table] = tl
+	}
+	return tl
+}
+
+// Acquire grants tx a table-granularity lock on table in the requested
+// mode, blocking while conflicting locks are held by other
+// transactions. Re-acquiring a covered mode is a no-op; upgrades
+// (including S->SIX and S->X) wait for other holders to drain.
 func (lm *LockManager) Acquire(tx ID, table string, mode LockMode) error {
 	deadline := time.Now().Add(lm.timeout)
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
-	tl := lm.tables[table]
-	if tl == nil {
-		tl = &tableLock{holders: make(map[ID]LockMode)}
-		lm.tables[table] = tl
+	return lm.acquireTableLocked(lm.tableLocked(table), tx, mode, deadline)
+}
+
+func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, deadline time.Time) error {
+	if covers(tl.holders[tx], mode) {
+		return nil
 	}
 	tl.nextSeq++
 	seq := tl.nextSeq
 	queued := false
+	var blockedAt time.Time
 	defer func() {
 		if queued {
 			tl.removeWaiter(seq)
 			// Our departure may unblock requests queued behind us.
 			lm.cond.Broadcast()
 		}
+		if !blockedAt.IsZero() {
+			d := time.Since(blockedAt)
+			tl.stats.WaitTime += d
+			if isWriteMode(mode) {
+				tl.stats.WriteWaitTime += d
+			}
+		}
 	}()
 	for {
 		held := tl.holders[tx]
-		if held >= mode {
-			return nil // already sufficient
+		if covers(held, mode) {
+			return nil
 		}
-		// A lock upgrade (holder of S wanting X) bypasses queue order:
-		// queued requests behind it cannot proceed until it releases,
-		// so making it wait for them would deadlock. Two concurrent
-		// upgraders still deadlock each other and surface as timeouts.
-		upgrade := held > 0
-		if lm.compatibleLocked(tl, tx, mode) &&
-			(upgrade || !tl.conflictsWithEarlier(seq, tx, mode)) {
-			tl.holders[tx] = mode
+		target := lub(held, mode)
+		if lm.tableCompatLocked(tl, tx, target) &&
+			!tl.conflictsWithEarlierLocked(seq, waiter{tx: tx, mode: target}) {
+			tl.holders[tx] = target
+			tl.stats.Acquires++
+			if held != 0 {
+				tl.stats.Upgrades++
+			}
 			lm.grants++
 			return nil
 		}
-		if !queued && !upgrade {
+		if !queued {
 			queued = true
-			tl.queue = append(tl.queue, waiter{seq: seq, tx: tx, mode: mode})
+			tl.queue = append(tl.queue, waiter{seq: seq, tx: tx, mode: target})
 		}
-		lm.waits++
+		if blockedAt.IsZero() {
+			blockedAt = time.Now()
+			tl.stats.Waits++
+			if isWriteMode(mode) {
+				tl.stats.WriteWaits++
+			}
+			lm.waits++
+		}
 		if !lm.waitUntilLocked(deadline) {
 			lm.timeouts++
-			return fmt.Errorf("%w: txn %d wants %s on %q", ErrLockTimeout, tx, mode, table)
+			return fmt.Errorf("%w: txn %d wants %s on %q", ErrLockTimeout, tx, mode, tl.name)
 		}
 	}
 }
 
-// compatibleLocked reports whether tx may take mode on tl given other
-// holders.
-func (lm *LockManager) compatibleLocked(tl *tableLock, tx ID, mode LockMode) bool {
+// tableCompatLocked reports whether tx may take mode on tl given the
+// other holders. Range locks held by others are represented by their
+// intention modes (package invariant), so the holders map is
+// authoritative.
+func (lm *LockManager) tableCompatLocked(tl *tableLock, tx ID, mode LockMode) bool {
 	for holder, hmode := range tl.holders {
 		if holder == tx {
 			continue
 		}
-		if mode == Exclusive || hmode == Exclusive {
+		if !Compatible(mode, hmode) {
 			return false
 		}
 	}
 	return true
+}
+
+// AcquireRanges grants tx locks on the given key ranges of table, in
+// Shared or Exclusive mode, taking the matching intention lock on the
+// table first. Ranges are acquired in the canonical sorted order (see
+// keyset.SortRanges) regardless of input order. The call is
+// all-or-nothing in outcome but not in effect: on timeout, ranges
+// granted so far stay held until ReleaseAll, exactly like any other
+// lock taken by a transaction that goes on to abort.
+//
+// Two exclusive ranges conflict when they can share a key; shared
+// ranges coexist. A transaction's own overlapping ranges never
+// conflict, and a request contained in an own held range of the same or
+// stronger mode — or covered by the held table mode — is a no-op.
+func (lm *LockManager) AcquireRanges(tx ID, table string, mode LockMode, ranges []keyset.KeyRange) error {
+	if mode != Shared && mode != Exclusive {
+		return fmt.Errorf("txn: range locks must be S or X, not %s", mode)
+	}
+	if len(ranges) == 0 {
+		return nil
+	}
+	sorted := append([]keyset.KeyRange(nil), ranges...)
+	keyset.SortRanges(sorted)
+	deadline := time.Now().Add(lm.timeout)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	tl := lm.tableLocked(table)
+	if err := lm.acquireTableLocked(tl, tx, intentFor(mode), deadline); err != nil {
+		return err
+	}
+	for _, r := range sorted {
+		if err := lm.acquireRangeLocked(tl, tx, mode, r, deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r keyset.KeyRange, deadline time.Time) error {
+	tl.nextSeq++
+	seq := tl.nextSeq
+	queued := false
+	var blockedAt time.Time
+	defer func() {
+		if queued {
+			tl.removeWaiter(seq)
+			lm.cond.Broadcast()
+		}
+		if !blockedAt.IsZero() {
+			d := time.Since(blockedAt)
+			tl.stats.WaitTime += d
+			if isWriteMode(mode) {
+				tl.stats.WriteWaitTime += d
+			}
+		}
+	}()
+	for {
+		if tableModeCoversRange(tl.holders[tx], mode) {
+			return nil
+		}
+		conflict, covered, ownWeaker := false, false, false
+		tl.ranges.overlapping(r, func(n *rangeNode) bool {
+			if n.tx == tx {
+				if (n.mode == mode || n.mode == Exclusive) && n.r.Contains(r) {
+					covered = true
+					return false
+				}
+				ownWeaker = true
+				return true
+			}
+			if mode == Exclusive || n.mode == Exclusive {
+				conflict = true
+			}
+			return true
+		})
+		if covered {
+			return nil
+		}
+		if !conflict && !tl.conflictsWithEarlierLocked(seq, waiter{tx: tx, mode: mode, isRange: true, r: r}) {
+			tl.ranges.insert(tx, mode, r)
+			tl.nranges[tx]++
+			tl.stats.Acquires++
+			tl.stats.RangeAcquires++
+			if ownWeaker && mode == Exclusive {
+				tl.stats.Upgrades++
+			}
+			lm.grants++
+			if tl.nranges[tx] >= escalateThreshold {
+				lm.tryEscalateLocked(tl, tx)
+			}
+			return nil
+		}
+		if !queued {
+			queued = true
+			tl.queue = append(tl.queue, waiter{seq: seq, tx: tx, mode: mode, isRange: true, r: r})
+		}
+		if blockedAt.IsZero() {
+			blockedAt = time.Now()
+			tl.stats.Waits++
+			if isWriteMode(mode) {
+				tl.stats.WriteWaits++
+			}
+			lm.waits++
+		}
+		if !lm.waitUntilLocked(deadline) {
+			lm.timeouts++
+			return fmt.Errorf("%w: txn %d wants %s on %q range %s", ErrLockTimeout, tx, mode, tl.name, r)
+		}
+	}
+}
+
+// tryEscalateLocked opportunistically trades tx's range set on tl for a
+// single table X lock. It never blocks and never jumps waiters that
+// are not already blocked by tx: if the X grant isn't immediately fair
+// and compatible, the ranges stay as they are.
+func (lm *LockManager) tryEscalateLocked(tl *tableLock, tx ID) {
+	if tl.holders[tx] == Exclusive {
+		return
+	}
+	if !lm.tableCompatLocked(tl, tx, Exclusive) {
+		return
+	}
+	if tl.conflictsWithEarlierLocked(math.MaxUint64, waiter{tx: tx, mode: Exclusive}) {
+		return
+	}
+	tl.holders[tx] = Exclusive
+	tl.stats.Escalations++
+	if tl.nranges[tx] > 0 {
+		tl.ranges.removeTx(tx)
+		delete(tl.nranges, tx)
+	}
 }
 
 // waitUntilLocked waits on the manager condition until signaled or the
@@ -200,7 +551,8 @@ func (lm *LockManager) waitUntilLocked(deadline time.Time) bool {
 	return time.Now().Before(deadline)
 }
 
-// ReleaseAll drops every lock held by tx and wakes waiters.
+// ReleaseAll drops every lock held by tx — table modes and ranges —
+// and wakes waiters.
 func (lm *LockManager) ReleaseAll(tx ID) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
@@ -209,11 +561,25 @@ func (lm *LockManager) ReleaseAll(tx ID) {
 	// schema anyway.
 	for _, tl := range lm.tables {
 		delete(tl.holders, tx)
+		if tl.nranges[tx] > 0 {
+			tl.ranges.removeTx(tx)
+			delete(tl.nranges, tx)
+		}
 	}
 	lm.cond.Broadcast()
 }
 
-// Holding reports the mode tx holds on table (zero if none).
+// NoteTableFallback counts a statement whose footprint analysis failed,
+// forcing a whole-table lock where ranges were possible in principle.
+func (lm *LockManager) NoteTableFallback(table string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.tableLocked(table).stats.TableFallbacks++
+}
+
+// Holding reports the table-granularity mode tx holds on table (zero if
+// none; a transaction holding only range locks reports its intention
+// mode).
 func (lm *LockManager) Holding(tx ID, table string) LockMode {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
@@ -223,14 +589,54 @@ func (lm *LockManager) Holding(tx ID, table string) LockMode {
 	return 0
 }
 
-// LockStats is a snapshot of lock-manager counters.
+// HoldingRange reports the strongest protection tx has over every key
+// in r on table: Exclusive or Shared, from either a covering table mode
+// or a single containing range lock; zero when some key in r is
+// unprotected.
+func (lm *LockManager) HoldingRange(tx ID, table string, r keyset.KeyRange) LockMode {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	tl := lm.tables[table]
+	if tl == nil {
+		return 0
+	}
+	held := tl.holders[tx]
+	if tableModeCoversRange(held, Exclusive) {
+		return Exclusive
+	}
+	var best LockMode
+	tl.ranges.overlapping(r, func(n *rangeNode) bool {
+		if n.tx == tx && n.r.Contains(r) && n.mode > best {
+			best = n.mode
+		}
+		return best != Exclusive
+	})
+	if best == 0 && tableModeCoversRange(held, Shared) {
+		return Shared
+	}
+	return best
+}
+
+// LockStats is a snapshot of manager-wide lock counters.
 type LockStats struct {
 	Waits, Grants, Timeouts uint64
 }
 
-// Stats returns lock counters.
+// Stats returns manager-wide lock counters.
 func (lm *LockManager) Stats() LockStats {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	return LockStats{Waits: lm.waits, Grants: lm.grants, Timeouts: lm.timeouts}
+}
+
+// TableStats snapshots the per-table counters for every table the
+// manager has seen.
+func (lm *LockManager) TableStats() map[string]TableLockStats {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	out := make(map[string]TableLockStats, len(lm.tables))
+	for name, tl := range lm.tables {
+		out[name] = tl.stats
+	}
+	return out
 }

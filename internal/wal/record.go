@@ -105,6 +105,17 @@ func Frame(dst []byte, r *Record) []byte {
 	return dst
 }
 
+// PatchLSN rewrites the LSN field of a framed record in place and
+// recomputes the frame checksum. The writer uses this to frame records
+// outside its mutex (the expensive image copies) and stamp the LSN —
+// which is only known once ordered — inside it. Layout dependency:
+// the payload starts with [1B type][8B lsn].
+func PatchLSN(frame []byte, lsn LSN) {
+	payload := frame[recHeaderLen:]
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(lsn))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+}
+
 // ErrTorn reports an incomplete or corrupt record at the log tail. A
 // torn tail is expected after a crash; the reader stops there.
 var ErrTorn = errors.New("wal: torn or corrupt record")

@@ -70,7 +70,6 @@ type Writer struct {
 	segIdx  uint64
 	segSize int64
 	nextLSN LSN
-	scratch []byte
 
 	// Group-commit bookkeeping. lastLSN is the newest appended record;
 	// flushedLSN / durableLSN are high-water marks of what has reached
@@ -165,13 +164,15 @@ func (w *Writer) openSegmentLocked(idx uint64) error {
 	return nil
 }
 
+// framePool recycles per-call frame buffers so concurrent appenders can
+// serialize records outside the writer mutex without allocating.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
 // Append frames r, assigns it the next LSN (overwriting r.LSN), and
 // buffers it. Commit/abort/checkpoint records additionally apply the
 // durability policy. It returns the assigned LSN.
 func (w *Writer) Append(r *Record) (LSN, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.appendLocked(r, true)
+	return w.append(r, true)
 }
 
 // AppendBuffered frames r and assigns its LSN but does not apply the
@@ -182,24 +183,45 @@ func (w *Writer) Append(r *Record) (LSN, error) {
 // that observed this one's writes appends its own commit record later,
 // so its record becoming durable implies this one's already is.
 func (w *Writer) AppendBuffered(r *Record) (LSN, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.appendLocked(r, false)
+	return w.append(r, false)
 }
 
-func (w *Writer) appendLocked(r *Record, inlineSync bool) (LSN, error) {
+func (w *Writer) append(r *Record, inlineSync bool) (LSN, error) {
+	// Frame outside the mutex: copying the before/after images is the
+	// bulk of an append, and doing it under w.mu turns the log into the
+	// bottleneck for parallel appliers. Only the LSN (assigned once
+	// ordered, below) is stamped inside the critical section.
+	bufp := framePool.Get().(*[]byte)
+	frame := Frame((*bufp)[:0], r)
+	*bufp = frame
+	lsn, err := w.appendFramed(r, frame, inlineSync)
+	framePool.Put(bufp)
+	return lsn, err
+}
+
+func (w *Writer) appendFramed(r *Record, frame []byte, inlineSync bool) (LSN, error) {
+	// Unlock via defer: the fault-injection filesystem aborts I/O by
+	// panicking, and a mutex left locked by an unwinding appender would
+	// wedge every other transaction in the process (the buffer stays in
+	// the pool's lost set, which is harmless).
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeFramedLocked(r, frame, inlineSync)
+}
+
+func (w *Writer) writeFramedLocked(r *Record, frame []byte, inlineSync bool) (LSN, error) {
 	if w.f == nil {
 		return 0, fmt.Errorf("wal: writer closed")
 	}
 	r.LSN = w.nextLSN
 	w.nextLSN++
-	w.scratch = Frame(w.scratch[:0], r)
-	if _, err := w.bw.Write(w.scratch); err != nil {
+	PatchLSN(frame, r.LSN)
+	if _, err := w.bw.Write(frame); err != nil {
 		return 0, err
 	}
 	w.appended++
 	w.lastLSN = r.LSN
-	w.segSize += int64(len(w.scratch))
+	w.segSize += int64(len(frame))
 	if inlineSync && (r.Type == RecCommit || r.Type == RecAbort || r.Type == RecCheckpoint) {
 		if err := w.applySyncLocked(); err != nil {
 			return 0, err

@@ -2,6 +2,7 @@ package warehouse
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,11 +36,20 @@ type ValueDeltaIntegrator struct {
 	W *Warehouse
 }
 
-// Apply integrates the differential as a single batch transaction.
+// Apply integrates the differential as a single batch transaction. The
+// batch writes most of every table it touches, so its lock footprint —
+// whole-table exclusive on each — is pre-declared upfront: concurrent
+// readers queue once behind the batch instead of interleaving key-range
+// grants with its row statements, which can only untangle through lock
+// timeouts.
 func (in *ValueDeltaIntegrator) Apply(deltas []extract.Delta) (ApplyStats, error) {
 	start := time.Now()
 	stats := ApplyStats{Txns: 1}
 	tx := in.W.DB.Begin()
+	if err := tx.LockTablesExclusive(in.batchTables(deltas)...); err != nil {
+		tx.Abort()
+		return stats, err
+	}
 	for _, d := range deltas {
 		n, err := in.applyOne(tx, d)
 		stats.Statements += n
@@ -54,6 +64,43 @@ func (in *ValueDeltaIntegrator) Apply(deltas []extract.Delta) (ApplyStats, error
 	}
 	stats.Duration = time.Since(start)
 	return stats, nil
+}
+
+// batchTables collects every warehouse table the batch transaction will
+// touch: replicas of the delta tables, dependent select-project and
+// join views (join maintenance also probes the partner replica), and
+// aggregate views.
+func (in *ValueDeltaIntegrator) batchTables(deltas []extract.Delta) []string {
+	seen := make(map[string]bool)
+	add := func(name string) {
+		seen[strings.ToLower(name)] = true
+	}
+	done := make(map[string]bool)
+	for _, d := range deltas {
+		if done[strings.ToLower(d.Table)] {
+			continue // same source table: contributes nothing new
+		}
+		done[strings.ToLower(d.Table)] = true
+		if in.W.HasReplica(d.Table) {
+			add(d.Table)
+		}
+		for _, v := range in.W.ViewsOn(d.Table) {
+			add(v.Def.Name)
+			if v.Def.Join != nil {
+				add(v.Def.Join.Table)
+				add(v.Def.Source)
+			}
+		}
+		for _, av := range in.W.AggViewsOn(d.Table) {
+			add(av.Def.Name)
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (in *ValueDeltaIntegrator) applyOne(tx *engine.Tx, d extract.Delta) (int, error) {

@@ -2,12 +2,14 @@ package warehouse
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
+	"opdelta/internal/keyset"
 	"opdelta/internal/opdelta"
 )
 
@@ -20,16 +22,26 @@ import (
 // commit order, and anything the analysis cannot bound falls back to
 // conflicting with everything — serial order, never wrong answers.
 //
-// The concurrency win under SyncFull is commit pipelining: each worker
-// holds its table locks only while applying (early lock release in
-// engine.Tx.Commit) and the WAL group-commits the cohort's fsyncs, so
-// the per-transaction fsync latency that dominates the serial
-// integrator's window overlaps across workers.
+// Key-disjoint groups on the same table overlap end to end: each group
+// pre-declares its computed footprint as exclusive key-range locks
+// (plus whole-table locks for anything the analysis widened), so two
+// workers writing different key ranges of one replica execute
+// concurrently, not just pipeline their commits. The executor's own
+// per-statement locks are contained in the pre-declared set and are
+// granted without waiting, which keeps the schedule deadlock-free:
+// groups block only during pre-declaration, where tables are taken in
+// sorted name order and ranges in sorted bound order. On top of that,
+// the WAL still group-commits the cohort's fsyncs.
 type ParallelIntegrator struct {
 	W *Warehouse
 	// Workers bounds the apply pool. Values below 2 keep the scheduler
 	// but run one transaction at a time.
 	Workers int
+	// TableLocks forces whole-table lock plans (the pre-range-lock
+	// behavior): workers still pipeline commits, but same-table groups
+	// serialize their apply phases. Benchmarks use it as the baseline
+	// against key-range locking, and the equivalence sweep runs both.
+	TableLocks bool
 }
 
 // txnGroup is one source transaction's ops plus its conflict metadata.
@@ -40,9 +52,14 @@ type txnGroup struct {
 	// universal marks the serial fallback: the group conflicts with
 	// every other group (unparseable op or undeterminable key set).
 	universal bool
-	// locks is every warehouse table the group may touch, pre-declared
-	// so workers lock in canonical order and cannot deadlock.
-	locks []string
+	// The lock plan, pre-declared before any op runs. lockOrder lists
+	// every warehouse table the group may touch in canonical sorted
+	// order; ranged maps the subset lockable as exclusive key ranges
+	// (bounded footprints on tables whose maintenance is keyed by the
+	// source PK) to their merged ranges, and the rest take whole-table
+	// exclusive locks.
+	lockOrder []string
+	ranged    map[string][]keyset.KeyRange
 }
 
 func (g *txnGroup) conflictsWith(o *txnGroup) bool {
@@ -75,10 +92,19 @@ func (w *Warehouse) conflictKey(table string) (*catalog.Schema, string) {
 	return nil, ""
 }
 
-// analyze computes one group's footprints and lock set.
+// analyze computes one group's footprints and lock plan.
 func (in *ParallelIntegrator) analyze(ops []*opdelta.Op) *txnGroup {
 	g := &txnGroup{ops: ops, foot: make(map[string]opdelta.Footprint)}
 	lockSet := make(map[string]bool)
+	// mustWhole marks tables whose maintenance is not keyed by the
+	// source PK (agg views, join views and partners, PK-dropping views):
+	// only a whole-table lock covers the statements run against them.
+	// rangeSrc maps the remaining tables to the footprint key that
+	// bounds them — the replica is bounded by its own footprint, and a
+	// PK-retaining SP view by its source's (view rows are addressed by
+	// the projected source PK, so the key values coincide).
+	mustWhole := make(map[string]bool)
+	rangeSrc := make(map[string]string)
 	addFoot := func(table string, fp opdelta.Footprint) {
 		key := strings.ToLower(table)
 		g.foot[key] = g.foot[key].Union(fp)
@@ -94,39 +120,63 @@ func (in *ParallelIntegrator) analyze(ops []*opdelta.Op) *txnGroup {
 		}
 		if in.W.HasReplica(op.Table) {
 			lockSet[op.Table] = true
+			rangeSrc[op.Table] = strings.ToLower(op.Table)
 		}
 		for _, v := range in.W.ViewsOn(op.Table) {
 			lockSet[v.Def.Name] = true
-			if v.Def.Join == nil && v.pkInView < 0 {
-				// A view that drops the source PK is maintained by
-				// full-row-match deletes, which remove every duplicate —
-				// rows other keys contributed. That is order-sensitive
-				// across key-disjoint transactions, so widen to
-				// whole-table and let the DAG serialize them.
-				fp = opdelta.WholeTable()
-			}
-			if v.Def.Join != nil {
+			switch {
+			case v.Def.Join != nil:
 				// Join maintenance probes the partner replica: the group
 				// effectively reads arbitrary partner rows and patches
 				// arbitrary view rows, so widen to whole-table on both
 				// sides and lock the partner too.
 				fp = opdelta.WholeTable()
+				mustWhole[v.Def.Name] = true
 				partner := v.Def.Join.Table
 				if strings.EqualFold(partner, op.Table) {
 					partner = v.Def.Source
 				}
 				addFoot(partner, opdelta.WholeTable())
 				lockSet[partner] = true
+				mustWhole[partner] = true
+			case v.pkInView < 0:
+				// A view that drops the source PK is maintained by
+				// full-row-match deletes, which remove every duplicate —
+				// rows other keys contributed. That is order-sensitive
+				// across key-disjoint transactions, so widen to
+				// whole-table and let the DAG serialize them.
+				fp = opdelta.WholeTable()
+				mustWhole[v.Def.Name] = true
+			default:
+				rangeSrc[v.Def.Name] = strings.ToLower(op.Table)
 			}
 		}
 		for _, av := range in.W.AggViewsOn(op.Table) {
+			// Agg view rows are keyed by group-by value, unrelated to the
+			// source key set; concurrent groups serialize on the view's
+			// table lock exactly as they did before range locking.
 			lockSet[av.Def.Name] = true
+			mustWhole[av.Def.Name] = true
 		}
 		addFoot(op.Table, fp)
 	}
+	g.ranged = make(map[string][]keyset.KeyRange)
 	for t := range lockSet {
-		g.locks = append(g.locks, t)
+		g.lockOrder = append(g.lockOrder, t)
+		if in.TableLocks || g.universal || mustWhole[t] {
+			continue
+		}
+		src, ok := rangeSrc[t]
+		if !ok {
+			continue
+		}
+		fp := g.foot[src]
+		if fp.Whole || len(fp.Ranges) == 0 {
+			continue
+		}
+		g.ranged[t] = keyset.MergeRanges(fp.Ranges)
 	}
+	sort.Strings(g.lockOrder)
 	return g
 }
 
@@ -210,9 +260,19 @@ func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 			}
 		}()
 		tx = in.W.DB.Begin()
-		if lerr := tx.LockTablesExclusive(g.locks...); lerr != nil {
-			tx.Abort()
-			return lerr
+		// Pre-declare the lock plan in canonical table order; every lock
+		// the executor takes while applying is contained in it.
+		for _, name := range g.lockOrder {
+			var lerr error
+			if rs, ok := g.ranged[name]; ok {
+				lerr = tx.LockRangesExclusive(name, rs)
+			} else {
+				lerr = tx.LockTablesExclusive(name)
+			}
+			if lerr != nil {
+				tx.Abort()
+				return lerr
+			}
 		}
 		recs, stmts := 0, 0
 		for _, op := range g.ops {

@@ -158,7 +158,8 @@ func tableImage(t *testing.T, db *engine.DB, name string) []string {
 // TestParallelApplyEquivalence is the property test: for seeded random
 // workloads, ParallelIntegrator at 4 workers must leave the warehouse —
 // base replica and every view — byte-identical to the serial
-// OpDeltaIntegrator.
+// OpDeltaIntegrator. Each seed runs under both lock plans: key-range
+// locking (appliers overlap execution) and the whole-table baseline.
 func TestParallelApplyEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= int64(*equivseeds); seed++ {
 		seed := seed
@@ -166,37 +167,44 @@ func TestParallelApplyEquivalence(t *testing.T) {
 		// whole-table (serial-order) degradation path; the rest exercise
 		// genuine reordering.
 		withNoPK := seed%2 == 0
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			tables := []string{"parts", "v_low", "agg_status"}
-			if withNoPK {
-				tables = append(tables, "v_status")
+		for _, tableLocks := range []bool{false, true} {
+			tableLocks := tableLocks
+			mode := "rangelocks"
+			if tableLocks {
+				mode = "tablelocks"
 			}
-			ops := randomOpWorkload(t, seed, 40)
-			ws := equivWarehouse(t, wal.SyncFlush, withNoPK)
-			serStats, err := (&OpDeltaIntegrator{W: ws, GroupByTxn: true}).Apply(ops)
-			if err != nil {
-				t.Fatalf("serial apply: %v", err)
-			}
-			wp := equivWarehouse(t, wal.SyncFlush, withNoPK)
-			parStats, err := (&ParallelIntegrator{W: wp, Workers: 4}).Apply(ops)
-			if err != nil {
-				t.Fatalf("parallel apply: %v", err)
-			}
-			if serStats.Records != parStats.Records || serStats.Txns != parStats.Txns {
-				t.Fatalf("stats diverged: serial %+v parallel %+v", serStats, parStats)
-			}
-			for _, name := range tables {
-				a, b := tableImage(t, ws.DB, name), tableImage(t, wp.DB, name)
-				if len(a) != len(b) {
-					t.Fatalf("%s: row count %d (serial) vs %d (parallel)", name, len(a), len(b))
+			t.Run(fmt.Sprintf("seed%d/%s", seed, mode), func(t *testing.T) {
+				tables := []string{"parts", "v_low", "agg_status"}
+				if withNoPK {
+					tables = append(tables, "v_status")
 				}
-				for i := range a {
-					if a[i] != b[i] {
-						t.Fatalf("%s row %d differs:\n serial   %s\n parallel %s", name, i, a[i], b[i])
+				ops := randomOpWorkload(t, seed, 40)
+				ws := equivWarehouse(t, wal.SyncFlush, withNoPK)
+				serStats, err := (&OpDeltaIntegrator{W: ws, GroupByTxn: true}).Apply(ops)
+				if err != nil {
+					t.Fatalf("serial apply: %v", err)
+				}
+				wp := equivWarehouse(t, wal.SyncFlush, withNoPK)
+				parStats, err := (&ParallelIntegrator{W: wp, Workers: 4, TableLocks: tableLocks}).Apply(ops)
+				if err != nil {
+					t.Fatalf("parallel apply: %v", err)
+				}
+				if serStats.Records != parStats.Records || serStats.Txns != parStats.Txns {
+					t.Fatalf("stats diverged: serial %+v parallel %+v", serStats, parStats)
+				}
+				for _, name := range tables {
+					a, b := tableImage(t, ws.DB, name), tableImage(t, wp.DB, name)
+					if len(a) != len(b) {
+						t.Fatalf("%s: row count %d (serial) vs %d (parallel)", name, len(a), len(b))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("%s row %d differs:\n serial   %s\n parallel %s", name, i, a[i], b[i])
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -148,6 +148,16 @@ func ScanStatement() string {
 	return "SELECT part_id, qty FROM parts WHERE qty >= 500"
 }
 
+// StripeScanStatement is the partition-wise variant of the OLAP query:
+// a scan bounded to one primary-key stripe, the common pattern when a
+// reporting job walks a warehouse table partition by partition. Its
+// predicate is an exact PK range, so the engine locks only the stripe
+// (IS + shared range) and key-disjoint appliers keep running.
+func StripeScanStatement(first int64, k int) string {
+	return fmt.Sprintf("SELECT part_id, qty FROM parts WHERE part_id BETWEEN %d AND %d",
+		first, first+int64(k)-1)
+}
+
 // Rand returns a deterministic rng for a named experiment.
 func Rand(name string) *rand.Rand {
 	var seed int64
