@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"opdelta/internal/bench"
+	"opdelta/internal/obs"
 )
 
 func main() {
@@ -30,7 +31,9 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := bench.Config{TableRows: *rows}
+	// Every engine the experiments open publishes its metrics here under
+	// a unique db label; -json dumps the snapshot alongside the grids.
+	cfg := bench.Config{TableRows: *rows, Obs: obs.NewRegistry()}
 	if *full {
 		cfg.TableRows = 1_000_000
 		cfg.DeltaRows = []int{100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000}
@@ -141,7 +144,21 @@ func main() {
 		fatal(fmt.Errorf("unknown experiment %q (want all, ablations, t1, t2, t3, f2, f3, t4, e7..e10, a1..a4)", *exp))
 	}
 	if *jsonPath != "" {
-		if err := bench.WriteJSON(*jsonPath, collected); err != nil {
+		// The full registry holds one series set per scratch engine
+		// (hundreds across a -e all run). Keep the dump reviewable:
+		// pipeline-level series (delta_*, warehouse_*, ...) always, but
+		// engine internals (wal_*, txn_*, storage_*) only for the E9
+		// on-line maintenance engines — the experiment whose runtime
+		// behavior the live /metrics endpoint mirrors — and drop
+		// per-shard pool cells in favor of the pool-level gauges.
+		snap := cfg.Obs.Snapshot().Filter(func(m *obs.Metric) bool {
+			if m.Label("shard") != "" {
+				return false
+			}
+			db := m.Label("db")
+			return db == "" || strings.HasPrefix(db, "e9-")
+		})
+		if err := bench.WriteJSON(*jsonPath, collected, snap); err != nil {
 			fatal(err)
 		}
 	}

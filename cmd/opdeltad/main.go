@@ -17,6 +17,15 @@
 //
 // Each pass appends a numbered delta file (<table>.<seq>.delta for value
 // deltas, <table>.<seq>.ops for operations) to the output directory.
+//
+// With -metrics ADDR the daemon serves /metrics (Prometheus text
+// exposition) and /debug/deltaz (recent delta lifecycle traces, JSON)
+// on ADDR; port 0 picks a free port and the resolved URL is printed.
+//
+// With -live the daemon instead runs the full pipeline in-process —
+// load generation through Op-Delta capture, a persistent queue, and
+// parallel warehouse apply — stamping every delta's lifecycle so the
+// metrics endpoint reports live freshness lag (see live.go).
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
 	"opdelta/internal/extract"
+	"opdelta/internal/obs"
 	"opdelta/internal/opdelta"
 	"opdelta/internal/wal"
 )
@@ -45,16 +55,31 @@ func main() {
 		watch   = flag.Duration("watch", 0, "re-extract on this interval (0 = one pass)")
 		window  = flag.Int("window", 0, "snapshot method: window rows (0 = exact sort-merge)")
 		archive = flag.Bool("archive", false, "log method: mine the archive directory instead of the live WAL")
+		metrics = flag.String("metrics", "", "serve /metrics and /debug/deltaz on this address (port 0 picks a free port)")
+		live    = flag.Bool("live", false, "run the live capture->queue->warehouse pipeline under -out instead of extraction passes")
+		loadgen = flag.Int("loadgen", 200, "live mode: source statements per second")
+		runFor  = flag.Duration("duration", 0, "live mode: stop after this long (0 = run until interrupted)")
 	)
 	flag.Parse()
 	if *srcDir == "" || *outDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *live {
+		if err := runLive(*srcDir, *outDir, *metrics, *loadgen, *runFor); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *metrics != "" {
+		if _, err := serveObs(*metrics, obs.Default(), nil); err != nil {
+			fatal(err)
+		}
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	db, err := engine.Open(*srcDir, engine.Options{})
+	db, err := engine.Open(*srcDir, engine.Options{Obs: obs.Default(), ObsDB: "src"})
 	if err != nil {
 		fatal(err)
 	}

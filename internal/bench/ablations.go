@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"opdelta/internal/engine"
@@ -141,7 +142,8 @@ func RunImportPoolSweep(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		clock := workload.NewClock()
-		db, err := engine.Open(dir, engine.Options{Now: clock.Now, PoolPages: pool, WALSync: wal.SyncFull})
+		db, err := engine.Open(dir, engine.Options{Now: clock.Now, PoolPages: pool, WALSync: wal.SyncFull,
+			Obs: cfg.Obs, ObsDB: filepath.Base(dir)})
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +186,8 @@ func RunSyncPolicyAblation(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		clock := workload.NewClock()
-		db, err := engine.Open(dir, engine.Options{Now: clock.Now, WALSync: pol})
+		db, err := engine.Open(dir, engine.Options{Now: clock.Now, WALSync: pol,
+			Obs: cfg.Obs, ObsDB: filepath.Base(dir)})
 		if err != nil {
 			return nil, err
 		}

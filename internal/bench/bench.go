@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"opdelta/internal/engine"
+	"opdelta/internal/obs"
 	"opdelta/internal/wal"
 	"opdelta/internal/workload"
 )
@@ -40,6 +41,12 @@ type Config struct {
 	// Repeats is the number of measurements per cell; the median is
 	// reported. Default 3.
 	Repeats int
+	// Obs, when set, receives every engine's metrics (each engine under
+	// a unique db=<scratch-name> label, so per-run stats never merge)
+	// plus the delta-lifecycle histograms from the traced experiments;
+	// benchtables dumps its snapshot into the -json output. Nil keeps
+	// every engine on a private registry.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() error {
@@ -206,12 +213,14 @@ func scratch(cfg *Config, name string) (string, error) {
 
 // newSourceDB opens a source engine with a deterministic clock and the
 // options the source-side experiments use.
-func newSourceDB(dir string, archive bool) (*engine.DB, *workload.Clock, error) {
+func newSourceDB(cfg *Config, dir string, archive bool) (*engine.DB, *workload.Clock, error) {
 	clock := workload.NewClock()
 	db, err := engine.Open(dir, engine.Options{
 		Now:       clock.Now,
 		PoolPages: 512,
 		Archive:   archive,
+		Obs:       cfg.Obs,
+		ObsDB:     filepath.Base(dir),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -221,12 +230,14 @@ func newSourceDB(dir string, archive bool) (*engine.DB, *workload.Clock, error) 
 
 // newWarehouseDB opens a destination engine with production-durability
 // commits, the regime where loader-vs-import contrasts are honest.
-func newWarehouseDB(dir string) (*engine.DB, *workload.Clock, error) {
+func newWarehouseDB(cfg *Config, dir string) (*engine.DB, *workload.Clock, error) {
 	clock := workload.NewClock()
 	db, err := engine.Open(dir, engine.Options{
 		Now:       clock.Now,
 		PoolPages: 512,
 		WALSync:   wal.SyncFull,
+		Obs:       cfg.Obs,
+		ObsDB:     filepath.Base(dir),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -240,7 +251,7 @@ func populatedSource(cfg *Config, name string, n int, archive bool) (*engine.DB,
 	if err != nil {
 		return nil, nil, err
 	}
-	db, clock, err := newSourceDB(dir, archive)
+	db, clock, err := newSourceDB(cfg, dir, archive)
 	if err != nil {
 		return nil, nil, err
 	}

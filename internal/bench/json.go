@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"os"
+
+	"opdelta/internal/obs"
 )
 
 // jsonCell is one (method, metric) measurement of one experiment.
@@ -23,10 +25,20 @@ type jsonResult struct {
 	Cells []jsonCell `json:"cells"`
 }
 
-// WriteJSON writes the results to path as an indented JSON array, one
-// object per experiment, mirroring exactly what Render prints.
-func WriteJSON(path string, results []*Result) error {
-	out := make([]jsonResult, 0, len(results))
+// jsonDump is the -json file: the experiment grids plus (when the run
+// carried a registry) the full metrics snapshot — the same series,
+// bucket bounds included, that opdeltad's /metrics endpoint exposes, so
+// BENCH_*.json and a live scrape are directly comparable.
+type jsonDump struct {
+	Experiments []jsonResult `json:"experiments"`
+	Metrics     []obs.Metric `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the results (and, when metrics is non-nil, the
+// registry snapshot) to path as indented JSON. The experiment section
+// mirrors exactly what Render prints.
+func WriteJSON(path string, results []*Result, metrics *obs.Snapshot) error {
+	dump := jsonDump{Experiments: make([]jsonResult, 0, len(results))}
 	for _, r := range results {
 		jr := jsonResult{ID: r.ID, Title: r.Title, Unit: r.Unit, Notes: r.Notes}
 		for i, row := range r.RowHeads {
@@ -34,9 +46,12 @@ func WriteJSON(path string, results []*Result) error {
 				jr.Cells = append(jr.Cells, jsonCell{Method: row, Metric: col, Value: r.Values[i][j]})
 			}
 		}
-		out = append(out, jr)
+		dump.Experiments = append(dump.Experiments, jr)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	if metrics != nil {
+		dump.Metrics = metrics.Metrics
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {
 		return err
 	}

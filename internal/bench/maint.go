@@ -7,11 +7,31 @@ import (
 	"time"
 
 	"opdelta/internal/extract"
+	"opdelta/internal/obs"
 	"opdelta/internal/opdelta"
 	"opdelta/internal/txn"
 	"opdelta/internal/warehouse"
 	"opdelta/internal/workload"
 )
+
+// newBenchTracer returns a delta-lifecycle tracer on cfg.Obs, or nil
+// (every stamp a no-op) when no registry was supplied.
+func newBenchTracer(cfg *Config) *obs.Tracer {
+	if cfg.Obs == nil {
+		return nil
+	}
+	return obs.NewTracer(cfg.Obs, 256)
+}
+
+// traceOps begins a fresh lifecycle for every op, captured "now": the
+// bench has no transport leg, so the trace measures the apply side —
+// lock wait, statement execution, and durability — and its freshness
+// lag is the op's scheduling-to-durable time within the apply window.
+func traceOps(tracer *obs.Tracer, ops []*opdelta.Op) {
+	for _, op := range ops {
+		op.Trace = tracer.Begin(op.Seq, op.Txn, time.Now())
+	}
+}
 
 // capturedWork is one source transaction's worth of deltas in both
 // representations.
@@ -85,7 +105,7 @@ func newReplicaWarehouse(cfg *Config, name string) (*warehouse.Warehouse, error)
 	if err != nil {
 		return nil, err
 	}
-	db, _, err := newWarehouseDB(dir)
+	db, _, err := newWarehouseDB(cfg, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +145,7 @@ func RunMaintWindow(cfg Config) (*Result, error) {
 		},
 	}
 	res.Values = make([][]float64, 6)
+	tracer := newBenchTracer(&cfg)
 	for _, k := range cfg.TxnSizes {
 		if k > cfg.TableRows {
 			return nil, fmt.Errorf("bench: txn of %d rows exceeds table of %d", k, cfg.TableRows)
@@ -161,6 +182,7 @@ func RunMaintWindow(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			oDur, err := measure("e7-wo", func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+				traceOps(tracer, work.ops)
 				return (&warehouse.OpDeltaIntegrator{W: w, GroupByTxn: true}).Apply(work.ops)
 			})
 			if err != nil {
@@ -345,7 +367,9 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tracer := newBenchTracer(&cfg)
 	oOut, err := runWith("e9-wo", func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+		traceOps(tracer, ops)
 		return (&warehouse.OpDeltaIntegrator{W: w, GroupByTxn: true}).Apply(ops)
 	})
 	if err != nil {
@@ -355,6 +379,7 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	for _, wk := range workerSweep {
 		wk := wk
 		pOut, err := runWith(fmt.Sprintf("e9-wp%d", wk), func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+			traceOps(tracer, ops)
 			return (&warehouse.ParallelIntegrator{W: w, Workers: wk}).Apply(ops)
 		})
 		if err != nil {
@@ -365,6 +390,7 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	for _, wk := range tableLockSweep {
 		wk := wk
 		pOut, err := runWith(fmt.Sprintf("e9-wt%d", wk), func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+			traceOps(tracer, ops)
 			return (&warehouse.ParallelIntegrator{W: w, Workers: wk, TableLocks: true}).Apply(ops)
 		})
 		if err != nil {

@@ -65,7 +65,7 @@ func RunRemoteCapture(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	staging, _, err := newWarehouseDB(stagingDir)
+	staging, _, err := newWarehouseDB(&cfg, stagingDir)
 	if err != nil {
 		return nil, err
 	}

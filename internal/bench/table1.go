@@ -57,7 +57,7 @@ func RunTable1(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		impDB, _, err := newWarehouseDB(impDir)
+		impDB, _, err := newWarehouseDB(&cfg, impDir)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +79,7 @@ func RunTable1(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		loadDB, _, err := newWarehouseDB(loadDir)
+		loadDB, _, err := newWarehouseDB(&cfg, loadDir)
 		if err != nil {
 			return nil, err
 		}

@@ -117,7 +117,7 @@ func RunTables23(cfg Config) (*Result, *Result, error) {
 		t2.Values[2] = append(t2.Values[2], (tableDur + expDur).Seconds())
 
 		// Table 3 path A: ship the file, bulk-load at the warehouse.
-		whA, _, err := newWarehouseDB(mustScratch(&cfg, fmt.Sprintf("t23-whA-%d", rows)))
+		whA, _, err := newWarehouseDB(&cfg, mustScratch(&cfg, fmt.Sprintf("t23-whA-%d", rows)))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -135,7 +135,7 @@ func RunTables23(cfg Config) (*Result, *Result, error) {
 		}
 
 		// Table 3 path B: Import the exported staging table.
-		whB, _, err := newWarehouseDB(mustScratch(&cfg, fmt.Sprintf("t23-whB-%d", rows)))
+		whB, _, err := newWarehouseDB(&cfg, mustScratch(&cfg, fmt.Sprintf("t23-whB-%d", rows)))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -21,6 +21,7 @@ import (
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/fault"
+	"opdelta/internal/obs"
 	"opdelta/internal/storage"
 	"opdelta/internal/txn"
 	"opdelta/internal/wal"
@@ -47,6 +48,15 @@ type Options struct {
 	// means the real filesystem. The fault-injection harness substitutes
 	// a fault.SimFS here to crash and recover the whole engine in-process.
 	FS fault.FS
+	// Obs receives every engine metric (wal_*, txn_*, storage_pool_*).
+	// Nil keeps each instance on its own fresh registry, so independent
+	// engines — e.g. the per-run warehouses the bench harness opens —
+	// never merge counters. Daemons pass obs.Default() to publish.
+	Obs *obs.Registry
+	// ObsDB, when non-empty, stamps a db=<name> label on the engine's
+	// series so a process holding several engines on one registry
+	// (opdeltad: source + warehouse) keeps them apart.
+	ObsDB string
 }
 
 func (o *Options) fill() {
@@ -67,6 +77,9 @@ type DB struct {
 	wal   *wal.Writer
 	locks *txn.LockManager
 	txns  *txn.Manager
+
+	obs       *obs.Registry
+	obsLabels []obs.Label
 
 	mu     sync.RWMutex // guards tables map and table metadata
 	tables map[string]*Table
@@ -117,7 +130,16 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	wopts := wal.Options{Sync: opts.WALSync, SegmentSize: opts.WALSegmentSize, FS: fsys}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var labels []obs.Label
+	if opts.ObsDB != "" {
+		labels = []obs.Label{obs.L("db", opts.ObsDB)}
+	}
+	wopts := wal.Options{Sync: opts.WALSync, SegmentSize: opts.WALSegmentSize, FS: fsys,
+		Obs: reg, ObsLabels: labels}
 	if opts.Archive {
 		wopts.ArchiveDir = filepath.Join(dir, "archive")
 	}
@@ -126,12 +148,14 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		dir:    dir,
-		opts:   opts,
-		fs:     fsys,
-		wal:    w,
-		locks:  txn.NewLockManager(opts.LockTimeout),
-		tables: make(map[string]*Table),
+		dir:       dir,
+		opts:      opts,
+		fs:        fsys,
+		wal:       w,
+		locks:     txn.NewLockManagerObs(opts.LockTimeout, reg, labels...),
+		tables:    make(map[string]*Table),
+		obs:       reg,
+		obsLabels: labels,
 	}
 	if err := db.loadCatalog(); err != nil {
 		w.Close()
@@ -166,6 +190,10 @@ func (db *DB) ArchiveDir() string { return filepath.Join(db.dir, "archive") }
 
 // WAL exposes the log writer (extraction utilities rotate/inspect it).
 func (db *DB) WAL() *wal.Writer { return db.wal }
+
+// Obs returns the registry holding this engine's metrics (the injected
+// Options.Obs, or the instance's private registry).
+func (db *DB) Obs() *obs.Registry { return db.obs }
 
 // LockStats snapshots the lock manager's global counters.
 func (db *DB) LockStats() txn.LockStats { return db.locks.Stats() }
@@ -294,6 +322,9 @@ func (db *DB) openTable(m tableMeta) (*Table, error) {
 	} else {
 		heap.Pool().SetBeforePageWrite(db.wal.Flush)
 	}
+	poolLabels := append(append([]obs.Label(nil), db.obsLabels...),
+		obs.L("pool", strings.ToLower(m.Name)))
+	heap.Pool().RegisterObs(db.obs, poolLabels...)
 	t.heap = heap
 	return t, nil
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that data parses as Prometheus text
+// exposition format (version 0.0.4): every line is a comment, blank, or
+// `name{label="value",...} value [timestamp]`. The first malformed line
+// aborts with an error naming the line number. CI uses this against a
+// live scrape of opdeltad.
+func ValidateExposition(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := validateSampleLine(line); err != nil {
+			return fmt.Errorf("exposition line %d: %w: %q", i+1, err, line)
+		}
+	}
+	return nil
+}
+
+func validateSampleLine(line string) error {
+	rest, err := scanName(line)
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest, err = scanLabels(rest[1:])
+		if err != nil {
+			return err
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return fmt.Errorf("expected space before value")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected value and optional timestamp, got %d fields", len(fields))
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("bad value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+// scanName consumes a metric or label name and returns the remainder.
+func scanName(s string) (string, error) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			break
+		}
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name")
+	}
+	return s[i:], nil
+}
+
+// scanLabels consumes `name="value",...}` and returns the remainder
+// after the closing brace.
+func scanLabels(s string) (string, error) {
+	for {
+		var err error
+		s, err = scanName(s)
+		if err != nil {
+			return s, fmt.Errorf("bad label name: %w", err)
+		}
+		if !strings.HasPrefix(s, `="`) {
+			return s, fmt.Errorf("expected =\" after label name")
+		}
+		s = s[2:]
+		// Consume the quoted value, honoring backslash escapes.
+		i := 0
+		for i < len(s) {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return s, fmt.Errorf("dangling escape in label value")
+				}
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return s, fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+			return s[1:], nil
+		default:
+			return s, fmt.Errorf("expected , or } after label value")
+		}
+	}
+}

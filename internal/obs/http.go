@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/debug/deltaz  recent completed delta traces as JSON, newest first
+//	               (?n=N limits the count; default 64)
+//
+// tracer may be nil, in which case /debug/deltaz serves an empty list.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/debug/deltaz", func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		recs := tracer.Recent(n)
+		if recs == nil {
+			recs = []TraceRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Traces []TraceRecord `json:"traces"`
+		}{recs})
+	})
+	return mux
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// less than or equal to LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON encodes the bound as a string ("0.001", "+Inf") — the
+// last bucket's bound is +Inf, which JSON numbers cannot represent.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatLE(b.LE), b.Count)), nil
+}
+
+// Metric is one series frozen at snapshot time.
+type Metric struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Type   string  `json:"type"`
+
+	// Value holds the counter or gauge reading.
+	Value float64 `json:"value,omitempty"`
+
+	// Histogram fields. Buckets are cumulative and end with le=+Inf.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every series in a registry.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot freezes the registry. Each series is read once — atomically
+// per field — so consumers (/metrics, bench JSON dumps, tests) never
+// see a counter move between two reads of the same dump. Histogram
+// bucket sums are read bucket-by-bucket, so a concurrent Observe may
+// land in count but not sum (or vice versa) — the skew is bounded by
+// in-flight observations at the instant of the cut, never by resets.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+
+	s := &Snapshot{Metrics: make([]Metric, 0, len(entries))}
+	for _, e := range entries {
+		m := Metric{Name: e.name, Labels: e.labels, Type: e.typ}
+		switch {
+		case e.fn != nil:
+			m.Value = e.fn()
+		case e.counter != nil:
+			m.Value = float64(e.counter.Value())
+		case e.gauge != nil:
+			m.Value = float64(e.gauge.Value())
+		case e.hist != nil:
+			var cum uint64
+			m.Buckets = make([]Bucket, 0, len(e.hist.counts))
+			for i := range e.hist.counts {
+				cum += e.hist.counts[i].Load()
+				le := inf
+				if i < len(e.hist.bounds) {
+					le = e.hist.bounds[i]
+				}
+				m.Buckets = append(m.Buckets, Bucket{LE: le, Count: cum})
+			}
+			m.Sum = e.hist.Sum()
+			m.Count = cum
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool {
+		a, b := &s.Metrics[i], &s.Metrics[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelsKey(a.Labels) < labelsKey(b.Labels)
+	})
+	return s
+}
+
+var inf = infinity()
+
+func infinity() float64 {
+	f, _ := strconv.ParseFloat("+Inf", 64)
+	return f
+}
+
+func labelsKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Label returns the metric's value for the labeled key, or "".
+func (m *Metric) Label(key string) string {
+	for _, l := range m.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Filter returns a snapshot holding only the metrics keep accepts,
+// preserving order.
+func (s *Snapshot) Filter(keep func(*Metric) bool) *Snapshot {
+	out := &Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for i := range s.Metrics {
+		if keep(&s.Metrics[i]) {
+			out.Metrics = append(out.Metrics, s.Metrics[i])
+		}
+	}
+	return out
+}
+
+// Get returns the snapshotted metric with the given name and labels,
+// or nil. Label order is insignificant.
+func (s *Snapshot) Get(name string, labels ...Label) *Metric {
+	want := labelsKey(sortedLabels(labels))
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name == name && labelsKey(m.Labels) == want {
+			return m
+		}
+	}
+	return nil
+}
+
+// WriteText renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series are already sorted, and one # TYPE
+// header is emitted per metric family, so output is byte-deterministic
+// for a given snapshot.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Type)
+			lastFamily = m.Name
+		}
+		switch m.Type {
+		case TypeHistogram:
+			for _, bk := range m.Buckets {
+				writeSample(&b, m.Name+"_bucket", m.Labels, L("le", formatLE(bk.LE)), float64(bk.Count))
+			}
+			writeSample(&b, m.Name+"_sum", m.Labels, Label{}, m.Sum)
+			writeSample(&b, m.Name+"_count", m.Labels, Label{}, float64(m.Count))
+		default:
+			writeSample(&b, m.Name, m.Labels, Label{}, m.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text renders the snapshot as a string.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}
+
+func formatLE(le float64) string {
+	if le == inf {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	if v == inf {
+		return "+Inf"
+	}
+	if v == -inf {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, extra Label, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extra.Key != "" {
+		b.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			writeLabel(b, l)
+		}
+		if extra.Key != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			writeLabel(b, extra)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+func writeLabel(b *strings.Builder, l Label) {
+	b.WriteString(l.Key)
+	b.WriteString(`="`)
+	for _, r := range l.Value {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+}

@@ -2,10 +2,11 @@ package opdelta
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync"
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
+	"opdelta/internal/obs"
 	"opdelta/internal/sqlmini"
 )
 
@@ -24,9 +25,28 @@ type Capture struct {
 	// is captured (no before images ever).
 	Analyzer *Analyzer
 
-	// stats; atomic because concurrent sessions capture through one
-	// shared Capture while monitors read Stats.
-	captured, hybrids atomic.Uint64
+	// Obs receives the capture counters (opdelta_captured_total,
+	// opdelta_hybrid_captures_total). Nil keeps them on a private
+	// registry so independent Capture instances don't share series.
+	// Set before first use.
+	Obs *obs.Registry
+
+	// Counters resolve lazily from Obs on first capture; sharded
+	// atomics, so concurrent sessions capture through one shared
+	// Capture without contending.
+	once              sync.Once
+	captured, hybrids *obs.Counter
+}
+
+func (c *Capture) metrics() {
+	c.once.Do(func() {
+		reg := c.Obs
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		c.captured = reg.Counter("opdelta_captured_total")
+		c.hybrids = reg.Counter("opdelta_hybrid_captures_total")
+	})
 }
 
 // Exec captures and then executes one statement. A nil tx runs the
@@ -54,6 +74,7 @@ func (c *Capture) ExecStmt(tx *engine.Tx, stmt sqlmini.Statement) (engine.Result
 		}
 		return res, nil
 	}
+	c.metrics()
 	op, err := c.buildOp(tx, stmt)
 	if err != nil {
 		return engine.Result{}, err
@@ -62,7 +83,7 @@ func (c *Capture) ExecStmt(tx *engine.Tx, stmt sqlmini.Statement) (engine.Result
 		if err := c.Log.Append(tx, op); err != nil {
 			return engine.Result{}, fmt.Errorf("opdelta: capture: %w", err)
 		}
-		c.captured.Add(1)
+		c.captured.Inc()
 	}
 	return c.DB.ExecStmt(tx, stmt)
 }
@@ -105,7 +126,7 @@ func (c *Capture) buildOp(tx *engine.Tx, stmt sqlmini.Statement) (*Op, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.hybrids.Add(1)
+		c.hybrids.Inc()
 	}
 	return op, nil
 }
@@ -118,5 +139,6 @@ type CaptureStats struct {
 
 // Stats returns capture counters.
 func (c *Capture) Stats() CaptureStats {
-	return CaptureStats{Captured: c.captured.Load(), Hybrids: c.hybrids.Load()}
+	c.metrics()
+	return CaptureStats{Captured: c.captured.Value(), Hybrids: c.hybrids.Value()}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"opdelta/internal/catalog"
+	"opdelta/internal/obs"
 	"opdelta/internal/sqlmini"
 )
 
@@ -65,6 +66,13 @@ type Op struct {
 	Before []catalog.Tuple
 	// Time is the capture timestamp at the source.
 	Time time.Time
+
+	// Trace is the op's delta-lifecycle trace, attached by the pipeline
+	// driver (opdeltad) and stamped by the integrators. Runtime-only: it
+	// does not survive Encode/DecodeOp, so a consumer on the far side of
+	// a queue re-attaches by Seq. Nil means untraced; stamping a nil
+	// trace is a no-op.
+	Trace *obs.Trace
 }
 
 // EncodedSize returns the op's transport size in bytes: statement text,

@@ -5,7 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"opdelta/internal/obs"
 )
 
 // BufferPool caches pages of one heap file with LRU replacement. Pages
@@ -47,7 +51,10 @@ type poolShard struct {
 	// (log before page) holds across evictions and FlushAll.
 	beforeWrite func() error
 
-	hits, misses, evictions uint64
+	// Atomic so registry snapshot funcs can read them without taking
+	// the shard mutex while appliers run. Increments happen on paths
+	// that already hold s.mu, so this adds no lock to the hot path.
+	hits, misses, evictions atomic.Uint64
 }
 
 type frame struct {
@@ -123,10 +130,10 @@ func (b *BufferPool) Fetch(id PageID) (*Page, error) {
 	if fr, ok := s.frames[id]; ok {
 		fr.pins++
 		s.lru.MoveToFront(fr.elem)
-		s.hits++
+		s.hits.Add(1)
 		return &fr.page, nil
 	}
-	s.misses++
+	s.misses.Add(1)
 	fr, err := s.allocFrameLocked(id)
 	if err != nil {
 		return nil, err
@@ -185,7 +192,7 @@ func (s *poolShard) evictLocked() error {
 		}
 		s.lru.Remove(e)
 		delete(s.frames, fr.id)
-		s.evictions++
+		s.evictions.Add(1)
 		return nil
 	}
 	return ErrPoolExhausted
@@ -261,12 +268,40 @@ type PoolStats struct {
 func (b *BufferPool) Stats() PoolStats {
 	out := PoolStats{Shards: len(b.shards)}
 	for _, s := range b.shards {
+		out.Hits += s.hits.Load()
+		out.Misses += s.misses.Load()
+		out.Evictions += s.evictions.Load()
 		s.mu.Lock()
-		out.Hits += s.hits
-		out.Misses += s.misses
-		out.Evictions += s.evictions
 		out.Cached += len(s.frames)
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// RegisterObs publishes the pool's cache behaviour on reg: per-shard
+// hit/miss/eviction counters (shard label) plus pool-level hit ratio
+// and cached-page gauges. Everything is func-backed — read only when a
+// snapshot is cut — so instrumentation costs the Fetch path nothing.
+// Labels identify the pool (e.g. pool=<table>, db=<name>); replace
+// semantics mean a re-opened table re-points its series at the live
+// pool.
+func (b *BufferPool) RegisterObs(reg *obs.Registry, labels ...obs.Label) {
+	for i, s := range b.shards {
+		s := s
+		ls := append(append([]obs.Label(nil), labels...), obs.L("shard", strconv.Itoa(i)))
+		reg.CounterFunc("storage_pool_hits_total", func() float64 { return float64(s.hits.Load()) }, ls...)
+		reg.CounterFunc("storage_pool_misses_total", func() float64 { return float64(s.misses.Load()) }, ls...)
+		reg.CounterFunc("storage_pool_evictions_total", func() float64 { return float64(s.evictions.Load()) }, ls...)
+	}
+	reg.GaugeFunc("storage_pool_hit_ratio", func() float64 {
+		st := b.Stats()
+		total := st.Hits + st.Misses
+		if total == 0 {
+			return 0
+		}
+		return float64(st.Hits) / float64(total)
+	}, labels...)
+	reg.GaugeFunc("storage_pool_cached_pages", func() float64 {
+		return float64(b.Stats().Cached)
+	}, labels...)
 }

@@ -9,8 +9,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"opdelta/internal/fault"
+	"opdelta/internal/obs"
 )
 
 // Queue is a file-backed at-least-once FIFO of byte messages. Producers
@@ -19,12 +22,25 @@ import (
 // at-least-once delivery, the guarantee the paper's "persistent queues"
 // transport provides.
 type Queue struct {
-	mu      sync.Mutex
-	fs      fault.FS
-	dir     string
-	data    fault.File
-	readPos int64 // next unread offset (volatile cursor)
-	ackPos  int64 // durable consumer position
+	mu   sync.Mutex
+	fs   fault.FS
+	dir  string
+	data fault.File
+	// Positions are atomics so the registry's depth gauge can read them
+	// at scrape time without the queue mutex; all writes still happen
+	// under q.mu, exactly as before.
+	readPos atomic.Int64 // next unread offset (volatile cursor)
+	ackPos  atomic.Int64 // durable consumer position
+	endPos  atomic.Int64 // append position (valid data length)
+
+	// Metrics (private registry unless opened via OpenQueueObs). The
+	// append/ack histograms time the whole durable operation, group
+	// sync included, so they measure what a producer/consumer actually
+	// waits.
+	appends       *obs.Counter
+	acks          *obs.Counter
+	appendSeconds *obs.Histogram
+	ackSeconds    *obs.Histogram
 
 	// Group-sync state for Append: the data mutex is never held across
 	// an fsync. writeSeq counts appended frames, syncedSeq the durable
@@ -50,8 +66,16 @@ func OpenQueue(dir string) (*Queue, error) {
 	return OpenQueueFS(fault.OS, dir)
 }
 
-// OpenQueueFS is OpenQueue through an injectable filesystem.
+// OpenQueueFS is OpenQueue through an injectable filesystem. Metrics
+// land on a private registry; use OpenQueueObs to publish them.
 func OpenQueueFS(fsys fault.FS, dir string) (*Queue, error) {
+	return OpenQueueObs(fsys, dir, nil)
+}
+
+// OpenQueueObs opens the queue and registers its metrics — append/ack
+// counters and latency histograms plus a depth-in-bytes gauge — on reg
+// with the given base labels. reg nil selects a private registry.
+func OpenQueueObs(fsys fault.FS, dir string, reg *obs.Registry, labels ...obs.Label) (*Queue, error) {
 	fsys = fault.OrOS(fsys)
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -64,12 +88,12 @@ func OpenQueueFS(fsys fault.FS, dir string) (*Queue, error) {
 	q.syncCond = sync.NewCond(&q.mu)
 	ackRaw, err := fsys.ReadFile(filepath.Join(dir, queueAckFile))
 	if err == nil && len(ackRaw) == 8 {
-		q.ackPos = int64(binary.LittleEndian.Uint64(ackRaw))
+		q.ackPos.Store(int64(binary.LittleEndian.Uint64(ackRaw)))
 	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
 		f.Close()
 		return nil, err
 	}
-	q.readPos = q.ackPos
+	q.readPos.Store(q.ackPos.Load())
 	// A producer crash can leave a torn frame at the tail. Readers stop
 	// there anyway, but a new producer would append *after* the torn
 	// bytes and corrupt the stream mid-file, so cut the tail back to the
@@ -78,10 +102,21 @@ func OpenQueueFS(fsys fault.FS, dir string) (*Queue, error) {
 		f.Close()
 		return nil, err
 	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	q.appends = reg.Counter("transport_queue_appends_total", labels...)
+	q.acks = reg.Counter("transport_queue_acks_total", labels...)
+	q.appendSeconds = reg.Histogram("transport_queue_append_seconds", obs.DurationBuckets, labels...)
+	q.ackSeconds = reg.Histogram("transport_queue_ack_seconds", obs.DurationBuckets, labels...)
+	reg.GaugeFunc("transport_queue_depth_bytes", func() float64 {
+		return float64(q.endPos.Load() - q.ackPos.Load())
+	}, labels...)
 	return q, nil
 }
 
-// truncateTornTail trims queue.dat to its last complete frame boundary.
+// truncateTornTail trims queue.dat to its last complete frame boundary
+// and records the valid length as the append position.
 func (q *Queue) truncateTornTail() error {
 	data, err := q.fs.ReadFile(filepath.Join(q.dir, queueDataFile))
 	if err != nil {
@@ -95,6 +130,7 @@ func (q *Queue) truncateTornTail() error {
 		}
 		valid += 8 + l
 	}
+	q.endPos.Store(int64(valid))
 	if valid == len(data) {
 		return nil
 	}
@@ -108,6 +144,7 @@ var queueCRC = crc32.MakeTable(crc32.Castagnoli)
 // cohort behind one leader's fsync (group sync), and readers proceed
 // during it.
 func (q *Queue) Append(msg []byte) error {
+	start := time.Now()
 	frame := make([]byte, 8+len(msg))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(msg)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(msg, queueCRC))
@@ -120,8 +157,14 @@ func (q *Queue) Append(msg []byte) error {
 	if _, err := q.data.Write(frame); err != nil {
 		return err
 	}
+	q.endPos.Add(int64(len(frame)))
 	q.writeSeq++
-	return q.syncToLocked(q.writeSeq)
+	err := q.syncToLocked(q.writeSeq)
+	if err == nil {
+		q.appends.Inc()
+		q.appendSeconds.ObserveDuration(time.Since(start))
+	}
+	return err
 }
 
 // syncToLocked returns once frame seq is durable. Caller holds q.mu;
@@ -166,8 +209,9 @@ var ErrEmpty = errors.New("transport: queue empty")
 func (q *Queue) Next() ([]byte, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	readPos := q.readPos.Load()
 	var hdr [8]byte
-	n, err := q.data.ReadAt(hdr[:], q.readPos)
+	n, err := q.data.ReadAt(hdr[:], readPos)
 	if err == io.EOF || (err == nil && n < 8) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return nil, ErrEmpty
 	}
@@ -177,16 +221,16 @@ func (q *Queue) Next() ([]byte, error) {
 	l := binary.LittleEndian.Uint32(hdr[0:4])
 	want := binary.LittleEndian.Uint32(hdr[4:8])
 	msg := make([]byte, l)
-	if _, err := q.data.ReadAt(msg, q.readPos+8); err != nil {
+	if _, err := q.data.ReadAt(msg, readPos+8); err != nil {
 		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrEmpty // torn tail: producer crashed mid-append
 		}
 		return nil, err
 	}
 	if crc32.Checksum(msg, queueCRC) != want {
-		return nil, fmt.Errorf("transport: corrupt message at offset %d", q.readPos)
+		return nil, fmt.Errorf("transport: corrupt message at offset %d", readPos)
 	}
-	q.readPos += 8 + int64(l)
+	q.readPos.Store(readPos + 8 + int64(l))
 	return msg, nil
 }
 
@@ -200,19 +244,20 @@ func (q *Queue) Next() ([]byte, error) {
 // across the fsync+rename — concurrent producers and Next calls keep
 // overlapping with the ack I/O (ackMu serializes ack writers instead).
 func (q *Queue) Ack() error {
+	start := time.Now()
 	q.ackMu.Lock()
 	defer q.ackMu.Unlock()
-	q.mu.Lock()
-	pos := q.readPos
-	q.mu.Unlock()
+	pos := q.readPos.Load()
 	if err := q.writeAckFile(pos, true); err != nil {
 		return err
 	}
 	q.mu.Lock()
-	if pos > q.ackPos {
-		q.ackPos = pos
+	if pos > q.ackPos.Load() {
+		q.ackPos.Store(pos)
 	}
 	q.mu.Unlock()
+	q.acks.Inc()
+	q.ackSeconds.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -222,10 +267,10 @@ func (q *Queue) Ack() error {
 // tests can demonstrate the data-loss window the fsync closes, against
 // a deterministic single-threaded op schedule.
 func (q *Queue) ackLocked(sync bool) error {
-	if err := q.writeAckFile(q.readPos, sync); err != nil {
+	if err := q.writeAckFile(q.readPos.Load(), sync); err != nil {
 		return err
 	}
-	q.ackPos = q.readPos
+	q.ackPos.Store(q.readPos.Load())
 	return nil
 }
 
@@ -256,26 +301,22 @@ func (q *Queue) writeAckFile(pos int64, sync bool) error {
 
 // AckPos returns the durable consumer position (offset of the first
 // unacknowledged byte).
-func (q *Queue) AckPos() int64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.ackPos
-}
+func (q *Queue) AckPos() int64 { return q.ackPos.Load() }
 
 // ReadPos returns the volatile cursor: the offset the next Next will
 // read from, and the position the next Ack would persist.
-func (q *Queue) ReadPos() int64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.readPos
-}
+func (q *Queue) ReadPos() int64 { return q.readPos.Load() }
+
+// Depth returns the bytes appended but not yet durably acknowledged —
+// the consumer's backlog, also published as transport_queue_depth_bytes.
+func (q *Queue) Depth() int64 { return q.endPos.Load() - q.ackPos.Load() }
 
 // Reset rewinds the volatile cursor to the last durable Ack (what a
 // restarted consumer sees).
 func (q *Queue) Reset() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.readPos = q.ackPos
+	q.readPos.Store(q.ackPos.Load())
 }
 
 // Close releases the queue's file handle.

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"opdelta/internal/keyset"
+	"opdelta/internal/obs"
 )
 
 // ID identifies a transaction. IDs are strictly increasing within one
@@ -162,8 +163,10 @@ var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
 // bookkeeping for bulk writers without ever blocking them.
 const escalateThreshold = 1024
 
-// TableLockStats are per-table lock-manager counters, exported through
-// the bench harness so lock-wait trajectories land in BENCH_*.json.
+// TableLockStats is a point-in-time snapshot of one table's lock
+// counters. The live counters themselves are obs registry series
+// (txn_table_* with a table label); this struct survives as the
+// aggregation currency of TableStats and the bench harness.
 type TableLockStats struct {
 	Acquires       uint64        // granted requests (table and range)
 	RangeAcquires  uint64        // granted range requests
@@ -205,7 +208,57 @@ type LockManager struct {
 	timeout time.Duration
 	tables  map[string]*tableLock
 
-	waits, grants, timeouts uint64
+	// Metrics live on an obs registry (a private one unless injected via
+	// NewLockManagerObs). The counters are atomic, so incrementing them
+	// under lm.mu adds no synchronization beyond what the grant path
+	// already holds, and snapshots never race resets.
+	reg                     *obs.Registry
+	labels                  []obs.Label
+	waits, grants, timeouts *obs.Counter
+}
+
+// tableLockMetrics are one table's registry-backed counters, resolved
+// once when the table is first seen so the grant path only touches
+// atomic handles.
+type tableLockMetrics struct {
+	acquires       *obs.Counter
+	rangeAcquires  *obs.Counter
+	waits          *obs.Counter
+	waitNanos      *obs.Counter
+	writeWaits     *obs.Counter
+	writeWaitNanos *obs.Counter
+	upgrades       *obs.Counter
+	tableFallbacks *obs.Counter
+	escalations    *obs.Counter
+}
+
+func newTableLockMetrics(reg *obs.Registry, labels []obs.Label, table string) *tableLockMetrics {
+	ls := append(append([]obs.Label(nil), labels...), obs.L("table", table))
+	return &tableLockMetrics{
+		acquires:       reg.Counter("txn_table_lock_acquires_total", ls...),
+		rangeAcquires:  reg.Counter("txn_table_range_acquires_total", ls...),
+		waits:          reg.Counter("txn_table_lock_waits_total", ls...),
+		waitNanos:      reg.Counter("txn_table_lock_wait_nanos_total", ls...),
+		writeWaits:     reg.Counter("txn_table_write_waits_total", ls...),
+		writeWaitNanos: reg.Counter("txn_table_write_wait_nanos_total", ls...),
+		upgrades:       reg.Counter("txn_table_lock_upgrades_total", ls...),
+		tableFallbacks: reg.Counter("txn_table_lock_fallbacks_total", ls...),
+		escalations:    reg.Counter("txn_table_lock_escalations_total", ls...),
+	}
+}
+
+func (m *tableLockMetrics) snapshot() TableLockStats {
+	return TableLockStats{
+		Acquires:       m.acquires.Value(),
+		RangeAcquires:  m.rangeAcquires.Value(),
+		Waits:          m.waits.Value(),
+		WaitTime:       time.Duration(m.waitNanos.Value()),
+		WriteWaits:     m.writeWaits.Value(),
+		WriteWaitTime:  time.Duration(m.writeWaitNanos.Value()),
+		Upgrades:       m.upgrades.Value(),
+		TableFallbacks: m.tableFallbacks.Value(),
+		Escalations:    m.escalations.Value(),
+	}
 }
 
 type tableLock struct {
@@ -220,7 +273,7 @@ type tableLock struct {
 	// on itself — so neither readers nor writers starve.
 	queue   []waiter
 	nextSeq uint64
-	stats   TableLockStats
+	m       *tableLockMetrics
 }
 
 // waiter is one blocked request: a table-mode request, or (isRange) a
@@ -298,13 +351,33 @@ func (tl *tableLock) conflictsWithEarlierLocked(seq uint64, me waiter) bool {
 	return false
 }
 
-// NewLockManager creates a lock manager with the given wait timeout.
-// A zero timeout selects a generous default.
+// NewLockManager creates a lock manager with the given wait timeout
+// and a private metrics registry. A zero timeout selects a generous
+// default.
 func NewLockManager(timeout time.Duration) *LockManager {
+	return NewLockManagerObs(timeout, obs.NewRegistry())
+}
+
+// NewLockManagerObs creates a lock manager registering its metrics on
+// reg with the given base labels (e.g. a db label distinguishing source
+// from warehouse when both live in one process). reg nil selects a
+// private registry.
+func NewLockManagerObs(timeout time.Duration, reg *obs.Registry, labels ...obs.Label) *LockManager {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	lm := &LockManager{timeout: timeout, tables: make(map[string]*tableLock)}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	lm := &LockManager{
+		timeout:  timeout,
+		tables:   make(map[string]*tableLock),
+		reg:      reg,
+		labels:   labels,
+		waits:    reg.Counter("txn_lock_waits_total", labels...),
+		grants:   reg.Counter("txn_lock_grants_total", labels...),
+		timeouts: reg.Counter("txn_lock_timeouts_total", labels...),
+	}
 	lm.cond = sync.NewCond(&lm.mu)
 	return lm
 }
@@ -312,7 +385,12 @@ func NewLockManager(timeout time.Duration) *LockManager {
 func (lm *LockManager) tableLocked(table string) *tableLock {
 	tl := lm.tables[table]
 	if tl == nil {
-		tl = &tableLock{name: table, holders: make(map[ID]LockMode), nranges: make(map[ID]int)}
+		tl = &tableLock{
+			name:    table,
+			holders: make(map[ID]LockMode),
+			nranges: make(map[ID]int),
+			m:       newTableLockMetrics(lm.reg, lm.labels, table),
+		}
 		lm.tables[table] = tl
 	}
 	return tl
@@ -345,9 +423,9 @@ func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, d
 		}
 		if !blockedAt.IsZero() {
 			d := time.Since(blockedAt)
-			tl.stats.WaitTime += d
+			tl.m.waitNanos.AddDuration(d)
 			if isWriteMode(mode) {
-				tl.stats.WriteWaitTime += d
+				tl.m.writeWaitNanos.AddDuration(d)
 			}
 		}
 	}()
@@ -360,11 +438,11 @@ func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, d
 		if lm.tableCompatLocked(tl, tx, target) &&
 			!tl.conflictsWithEarlierLocked(seq, waiter{tx: tx, mode: target}) {
 			tl.holders[tx] = target
-			tl.stats.Acquires++
+			tl.m.acquires.Inc()
 			if held != 0 {
-				tl.stats.Upgrades++
+				tl.m.upgrades.Inc()
 			}
-			lm.grants++
+			lm.grants.Inc()
 			return nil
 		}
 		if !queued {
@@ -373,14 +451,14 @@ func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, d
 		}
 		if blockedAt.IsZero() {
 			blockedAt = time.Now()
-			tl.stats.Waits++
+			tl.m.waits.Inc()
 			if isWriteMode(mode) {
-				tl.stats.WriteWaits++
+				tl.m.writeWaits.Inc()
 			}
-			lm.waits++
+			lm.waits.Inc()
 		}
 		if !lm.waitUntilLocked(deadline) {
-			lm.timeouts++
+			lm.timeouts.Inc()
 			return fmt.Errorf("%w: txn %d wants %s on %q", ErrLockTimeout, tx, mode, tl.name)
 		}
 	}
@@ -450,9 +528,9 @@ func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r
 		}
 		if !blockedAt.IsZero() {
 			d := time.Since(blockedAt)
-			tl.stats.WaitTime += d
+			tl.m.waitNanos.AddDuration(d)
 			if isWriteMode(mode) {
-				tl.stats.WriteWaitTime += d
+				tl.m.writeWaitNanos.AddDuration(d)
 			}
 		}
 	}()
@@ -481,12 +559,12 @@ func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r
 		if !conflict && !tl.conflictsWithEarlierLocked(seq, waiter{tx: tx, mode: mode, isRange: true, r: r}) {
 			tl.ranges.insert(tx, mode, r)
 			tl.nranges[tx]++
-			tl.stats.Acquires++
-			tl.stats.RangeAcquires++
+			tl.m.acquires.Inc()
+			tl.m.rangeAcquires.Inc()
 			if ownWeaker && mode == Exclusive {
-				tl.stats.Upgrades++
+				tl.m.upgrades.Inc()
 			}
-			lm.grants++
+			lm.grants.Inc()
 			if tl.nranges[tx] >= escalateThreshold {
 				lm.tryEscalateLocked(tl, tx)
 			}
@@ -498,14 +576,14 @@ func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r
 		}
 		if blockedAt.IsZero() {
 			blockedAt = time.Now()
-			tl.stats.Waits++
+			tl.m.waits.Inc()
 			if isWriteMode(mode) {
-				tl.stats.WriteWaits++
+				tl.m.writeWaits.Inc()
 			}
-			lm.waits++
+			lm.waits.Inc()
 		}
 		if !lm.waitUntilLocked(deadline) {
-			lm.timeouts++
+			lm.timeouts.Inc()
 			return fmt.Errorf("%w: txn %d wants %s on %q range %s", ErrLockTimeout, tx, mode, tl.name, r)
 		}
 	}
@@ -526,7 +604,7 @@ func (lm *LockManager) tryEscalateLocked(tl *tableLock, tx ID) {
 		return
 	}
 	tl.holders[tx] = Exclusive
-	tl.stats.Escalations++
+	tl.m.escalations.Inc()
 	if tl.nranges[tx] > 0 {
 		tl.ranges.removeTx(tx)
 		delete(tl.nranges, tx)
@@ -574,7 +652,7 @@ func (lm *LockManager) ReleaseAll(tx ID) {
 func (lm *LockManager) NoteTableFallback(table string) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
-	lm.tableLocked(table).stats.TableFallbacks++
+	lm.tableLocked(table).m.tableFallbacks.Inc()
 }
 
 // Holding reports the table-granularity mode tx holds on table (zero if
@@ -624,19 +702,21 @@ type LockStats struct {
 
 // Stats returns manager-wide lock counters.
 func (lm *LockManager) Stats() LockStats {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return LockStats{Waits: lm.waits, Grants: lm.grants, Timeouts: lm.timeouts}
+	return LockStats{Waits: lm.waits.Value(), Grants: lm.grants.Value(), Timeouts: lm.timeouts.Value()}
 }
 
 // TableStats snapshots the per-table counters for every table the
 // manager has seen.
 func (lm *LockManager) TableStats() map[string]TableLockStats {
 	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	out := make(map[string]TableLockStats, len(lm.tables))
+	metrics := make(map[string]*tableLockMetrics, len(lm.tables))
 	for name, tl := range lm.tables {
-		out[name] = tl.stats
+		metrics[name] = tl.m
+	}
+	lm.mu.Unlock()
+	out := make(map[string]TableLockStats, len(metrics))
+	for name, m := range metrics {
+		out[name] = m.snapshot()
 	}
 	return out
 }

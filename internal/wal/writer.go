@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"opdelta/internal/fault"
+	"opdelta/internal/obs"
 )
 
 // SyncPolicy controls durability of commits.
@@ -44,6 +46,13 @@ type Options struct {
 	// FS routes all file I/O; nil means the real filesystem. The
 	// fault-injection harness substitutes a fault.SimFS here.
 	FS fault.FS
+	// Obs receives the writer's metrics (wal_* counters, fsync latency
+	// and group-commit cohort histograms). Nil selects a private
+	// registry, keeping independent writers' counters isolated.
+	Obs *obs.Registry
+	// ObsLabels are base labels stamped on every wal_* series, e.g. a db
+	// label when several engines share one registry.
+	ObsLabels []obs.Label
 }
 
 const segSuffix = ".seg"
@@ -81,7 +90,41 @@ type Writer struct {
 	syncing    bool
 	syncCond   *sync.Cond
 
-	appended, flushes, syncsDone, groupSyncs, rotations uint64
+	// Counters and histograms are obs registry series; incrementing an
+	// atomic counter under w.mu adds no synchronization the append path
+	// doesn't already pay. fsyncSeconds is observed with w.mu RELEASED
+	// (the leader path) or held only as long as the fsync itself.
+	appended, flushes, syncsDone, groupSyncs, rotations *obs.Counter
+	fsyncSeconds                                        *obs.Histogram
+	cohortSize                                          *obs.Histogram
+}
+
+func (w *Writer) initMetrics() {
+	reg := w.opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ls := w.opts.ObsLabels
+	w.appended = reg.Counter("wal_appends_total", ls...)
+	w.flushes = reg.Counter("wal_flushes_total", ls...)
+	w.syncsDone = reg.Counter("wal_syncs_total", ls...)
+	w.groupSyncs = reg.Counter("wal_group_syncs_total", ls...)
+	w.rotations = reg.Counter("wal_rotations_total", ls...)
+	w.fsyncSeconds = reg.Histogram("wal_fsync_seconds", obs.DurationBuckets, ls...)
+	w.cohortSize = reg.Histogram("wal_group_commit_cohort_records", obs.CountBuckets, ls...)
+}
+
+// timedSync fsyncs f and feeds the latency histogram. covered is the
+// number of records this sync round makes durable — the group-commit
+// cohort (1 means group commit bought nothing).
+func (w *Writer) timedSync(f fault.File, covered LSN) error {
+	start := time.Now()
+	err := f.Sync()
+	w.fsyncSeconds.ObserveDuration(time.Since(start))
+	if covered > 0 {
+		w.cohortSize.Observe(float64(covered))
+	}
+	return err
 }
 
 // Open creates or resumes the log in dir. When resuming, the next LSN
@@ -101,6 +144,7 @@ func Open(dir string, opts Options) (*Writer, error) {
 	}
 	w := &Writer{dir: dir, opts: opts, fs: fsys, nextLSN: 1}
 	w.syncCond = sync.NewCond(&w.mu)
+	w.initMetrics()
 	segs, err := ListSegmentsFS(fsys, dir)
 	if err != nil {
 		return nil, err
@@ -219,7 +263,7 @@ func (w *Writer) writeFramedLocked(r *Record, frame []byte, inlineSync bool) (LS
 	if _, err := w.bw.Write(frame); err != nil {
 		return 0, err
 	}
-	w.appended++
+	w.appended.Inc()
 	w.lastLSN = r.LSN
 	w.segSize += int64(len(frame))
 	if inlineSync && (r.Type == RecCommit || r.Type == RecAbort || r.Type == RecCheckpoint) {
@@ -253,7 +297,7 @@ func (w *Writer) applySyncLocked() error {
 	case SyncNone:
 		return nil
 	case SyncFlush:
-		w.flushes++
+		w.flushes.Inc()
 		if err := w.bw.Flush(); err != nil {
 			return err
 		}
@@ -261,13 +305,14 @@ func (w *Writer) applySyncLocked() error {
 		return nil
 	case SyncFull:
 		goal := w.lastLSN
-		w.flushes++
+		covered := goal - w.durableLSN
+		w.flushes.Inc()
 		if err := w.bw.Flush(); err != nil {
 			return err
 		}
 		w.noteFlushedLocked(goal)
-		w.syncsDone++
-		if err := w.f.Sync(); err != nil {
+		w.syncsDone.Inc()
+		if err := w.timedSync(w.f, covered); err != nil {
 			return err
 		}
 		w.noteDurableLocked(goal)
@@ -296,7 +341,7 @@ func (w *Writer) WaitDurable(lsn LSN) error {
 		if w.bw == nil {
 			return fmt.Errorf("wal: writer closed")
 		}
-		w.flushes++
+		w.flushes.Inc()
 		if err := w.bw.Flush(); err != nil {
 			return err
 		}
@@ -325,14 +370,15 @@ func (w *Writer) syncToLocked(target LSN) error {
 		}
 		// Lead one sync round for everything appended so far.
 		goal := w.lastLSN
-		w.flushes++
+		covered := goal - w.durableLSN
+		w.flushes.Inc()
 		if err := w.bw.Flush(); err != nil {
 			return err
 		}
 		w.noteFlushedLocked(goal)
 		f := w.f
 		w.syncing = true
-		w.groupSyncs++
+		w.groupSyncs.Inc()
 		err := func() error {
 			w.mu.Unlock()
 			// The deferred re-lock also runs when Sync panics (the
@@ -343,7 +389,7 @@ func (w *Writer) syncToLocked(target LSN) error {
 				w.syncing = false
 				w.syncCond.Broadcast()
 			}()
-			return f.Sync()
+			return w.timedSync(f, covered)
 		}()
 		if err != nil {
 			// A concurrent rotation can sync and close the segment under
@@ -354,7 +400,7 @@ func (w *Writer) syncToLocked(target LSN) error {
 			}
 			return err
 		}
-		w.syncsDone++
+		w.syncsDone.Inc()
 		w.noteDurableLocked(goal)
 	}
 }
@@ -366,7 +412,7 @@ func (w *Writer) Flush() error {
 	if w.bw == nil {
 		return nil
 	}
-	w.flushes++
+	w.flushes.Inc()
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
@@ -389,17 +435,18 @@ func (w *Writer) Sync() error {
 
 func (w *Writer) rotateLocked() error {
 	goal := w.lastLSN
+	covered := goal - w.durableLSN
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.timedSync(w.f, covered); err != nil {
 		return err
 	}
 	w.noteDurableLocked(goal)
 	if err := w.f.Close(); err != nil {
 		return err
 	}
-	w.rotations++
+	w.rotations.Inc()
 	closed := w.segIdx
 	if w.opts.ArchiveDir != "" {
 		src := filepath.Join(w.dir, segName(closed))
@@ -462,12 +509,11 @@ type Stats struct {
 	Appended, Flushes, Syncs, GroupSyncs, Rotations uint64
 }
 
-// Stats returns writer counters.
+// Stats returns writer counters (read back from the obs registry
+// series, so Stats and a /metrics scrape can never disagree).
 func (w *Writer) Stats() Stats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return Stats{Appended: w.appended, Flushes: w.flushes, Syncs: w.syncsDone,
-		GroupSyncs: w.groupSyncs, Rotations: w.rotations}
+	return Stats{Appended: w.appended.Value(), Flushes: w.flushes.Value(), Syncs: w.syncsDone.Value(),
+		GroupSyncs: w.groupSyncs.Value(), Rotations: w.rotations.Value()}
 }
 
 // Close flushes, syncs and closes the active segment.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"opdelta/internal/catalog"
@@ -34,6 +35,14 @@ type ApplyStats struct {
 // DELETE plus one INSERT.
 type ValueDeltaIntegrator struct {
 	W *Warehouse
+
+	mOnce sync.Once
+	m     *applyMetrics
+}
+
+func (in *ValueDeltaIntegrator) metrics() *applyMetrics {
+	in.mOnce.Do(func() { in.m = newApplyMetrics(in.W.DB.Obs(), "value") })
+	return in.m
 }
 
 // Apply integrates the differential as a single batch transaction. The
@@ -43,6 +52,7 @@ type ValueDeltaIntegrator struct {
 // grants with its row statements, which can only untangle through lock
 // timeouts.
 func (in *ValueDeltaIntegrator) Apply(deltas []extract.Delta) (ApplyStats, error) {
+	m := in.metrics()
 	start := time.Now()
 	stats := ApplyStats{Txns: 1}
 	tx := in.W.DB.Begin()
@@ -63,6 +73,10 @@ func (in *ValueDeltaIntegrator) Apply(deltas []extract.Delta) (ApplyStats, error
 		return stats, err
 	}
 	stats.Duration = time.Since(start)
+	m.txns.Inc()
+	m.records.Add(uint64(stats.Records))
+	m.statements.Add(uint64(stats.Statements))
+	m.txnSeconds.ObserveDuration(stats.Duration)
 	return stats, nil
 }
 
@@ -228,10 +242,21 @@ type OpDeltaIntegrator struct {
 	// warehouse transaction, reproducing source atomicity exactly.
 	// Default false: one transaction per op.
 	GroupByTxn bool
+
+	mOnce sync.Once
+	m     *applyMetrics
 }
 
-// Apply replays the ops in order.
+func (in *OpDeltaIntegrator) metrics() *applyMetrics {
+	in.mOnce.Do(func() { in.m = newApplyMetrics(in.W.DB.Obs(), "op") })
+	return in.m
+}
+
+// Apply replays the ops in order. Ops carrying a lifecycle trace are
+// stamped applied when their statements have run and durable once
+// their warehouse transaction commits.
 func (in *OpDeltaIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
+	m := in.metrics()
 	start := time.Now()
 	var stats ApplyStats
 	i := 0
@@ -243,6 +268,7 @@ func (in *OpDeltaIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 				j++
 			}
 		}
+		txStart := time.Now()
 		tx := in.W.DB.Begin()
 		for _, op := range ops[i:j] {
 			n, err := in.applyOne(tx, op)
@@ -251,15 +277,24 @@ func (in *OpDeltaIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 				tx.Abort()
 				return stats, fmt.Errorf("warehouse: op %d (%s): %w", op.Seq, op.Stmt, err)
 			}
+			op.Trace.Applied()
 			stats.Records++
 		}
 		if err := tx.Commit(); err != nil {
 			return stats, err
 		}
+		for _, op := range ops[i:j] {
+			op.Trace.Durable()
+			op.Trace.Done()
+		}
+		m.txns.Inc()
+		m.txnSeconds.ObserveDuration(time.Since(txStart))
 		stats.Txns++
 		i = j
 	}
 	stats.Duration = time.Since(start)
+	m.records.Add(uint64(stats.Records))
+	m.statements.Add(uint64(stats.Statements))
 	return stats, nil
 }
 

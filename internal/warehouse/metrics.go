@@ -1,0 +1,42 @@
+package warehouse
+
+import (
+	"opdelta/internal/obs"
+)
+
+// applyMetrics are one integrator's registry series, labelled by
+// integrator kind so value-delta batches, serial op replay, and
+// parallel op replay are distinguishable on the same warehouse
+// registry. The registry is the warehouse engine's (DB.Obs()), so each
+// engine instance — and thus each bench run's fresh warehouse — keeps
+// its own counters.
+type applyMetrics struct {
+	txns       *obs.Counter
+	records    *obs.Counter
+	statements *obs.Counter
+	// txnSeconds observes each warehouse transaction begin→commit,
+	// lock pre-declaration included: the slice of the maintenance
+	// window one source transaction costs.
+	txnSeconds *obs.Histogram
+
+	// Degradation events: the scheduler giving up precision.
+	// degradedUniversal counts groups that fell back to
+	// conflicts-with-everything (unparseable op / unbounded key set);
+	// degradedWholeTable counts table lock plans widened from key
+	// ranges to a whole-table lock (join views, agg views, PK-dropping
+	// views, fallback analysis).
+	degradedUniversal  *obs.Counter
+	degradedWholeTable *obs.Counter
+}
+
+func newApplyMetrics(reg *obs.Registry, integrator string) *applyMetrics {
+	l := obs.L("integrator", integrator)
+	return &applyMetrics{
+		txns:               reg.Counter("warehouse_apply_txns_total", l),
+		records:            reg.Counter("warehouse_apply_records_total", l),
+		statements:         reg.Counter("warehouse_apply_statements_total", l),
+		txnSeconds:         reg.Histogram("warehouse_apply_txn_seconds", obs.DurationBuckets, l),
+		degradedUniversal:  reg.Counter("warehouse_degraded_universal_total", l),
+		degradedWholeTable: reg.Counter("warehouse_degraded_whole_table_total", l),
+	}
+}

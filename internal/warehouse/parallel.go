@@ -42,6 +42,14 @@ type ParallelIntegrator struct {
 	// serialize their apply phases. Benchmarks use it as the baseline
 	// against key-range locking, and the equivalence sweep runs both.
 	TableLocks bool
+
+	mOnce sync.Once
+	m     *applyMetrics
+}
+
+func (in *ParallelIntegrator) metrics() *applyMetrics {
+	in.mOnce.Do(func() { in.m = newApplyMetrics(in.W.DB.Obs(), "parallel") })
+	return in.m
 }
 
 // txnGroup is one source transaction's ops plus its conflict metadata.
@@ -177,6 +185,19 @@ func (in *ParallelIntegrator) analyze(ops []*opdelta.Op) *txnGroup {
 		g.ranged[t] = keyset.MergeRanges(fp.Ranges)
 	}
 	sort.Strings(g.lockOrder)
+	m := in.metrics()
+	if g.universal {
+		m.degradedUniversal.Inc()
+	} else if !in.TableLocks {
+		// Whole-table locks chosen where key ranges were the goal are
+		// precision the scheduler gave up; in TableLocks mode they are
+		// the configured baseline, not a degradation.
+		for _, t := range g.lockOrder {
+			if _, ok := g.ranged[t]; !ok {
+				m.degradedWholeTable.Inc()
+			}
+		}
+	}
 	return g
 }
 
@@ -238,6 +259,7 @@ func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 	}
 
 	ser := &OpDeltaIntegrator{W: in.W}
+	m := in.metrics()
 	runGroup := func(g *txnGroup) (err error) {
 		var tx *engine.Tx
 		committing := false
@@ -259,6 +281,7 @@ func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 				err = fmt.Errorf("warehouse: parallel apply panic: %v", r)
 			}
 		}()
+		txStart := time.Now()
 		tx = in.W.DB.Begin()
 		// Pre-declare the lock plan in canonical table order; every lock
 		// the executor takes while applying is contained in it.
@@ -274,6 +297,9 @@ func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 				return lerr
 			}
 		}
+		for _, op := range g.ops {
+			op.Trace.Locked()
+		}
 		recs, stmts := 0, 0
 		for _, op := range g.ops {
 			c, aerr := ser.applyOne(tx, op)
@@ -282,12 +308,21 @@ func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 				tx.Abort()
 				return fmt.Errorf("warehouse: op %d (%s): %w", op.Seq, op.Stmt, aerr)
 			}
+			op.Trace.Applied()
 			recs++
 		}
 		committing = true
 		if cerr := tx.Commit(); cerr != nil {
 			return cerr
 		}
+		for _, op := range g.ops {
+			op.Trace.Durable()
+			op.Trace.Done()
+		}
+		m.txns.Inc()
+		m.records.Add(uint64(recs))
+		m.statements.Add(uint64(stmts))
+		m.txnSeconds.ObserveDuration(time.Since(txStart))
 		mu.Lock()
 		stats.Records += recs
 		stats.Statements += stmts
