@@ -9,6 +9,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
 	"opdelta/internal/engine"
@@ -250,7 +251,7 @@ func runLive(srcDir, outDir, metricsAddr string, rate int, duration time.Duratio
 	}()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 	var timeout <-chan time.Time
 	if duration > 0 {

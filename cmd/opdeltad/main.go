@@ -26,6 +26,15 @@
 // load generation through Op-Delta capture, a persistent queue, and
 // parallel warehouse apply — stamping every delta's lifecycle so the
 // metrics endpoint reports live freshness lag (see live.go).
+//
+// With -serve the daemon is the warehouse side of networked
+// replication: it accepts shipper connections on -listen, lands op
+// batches in per-source durable topics under -out, and applies each
+// source into its own warehouse exactly once (see serve.go). With
+// -ship ADDR it is the source side: load generation through Op-Delta
+// capture under -src, streamed to the server with acked resumable
+// delivery (see ship.go). Both drain gracefully on SIGINT/SIGTERM and
+// resume from the last acked durable LSN after a hard kill.
 package main
 
 import (
@@ -57,10 +66,34 @@ func main() {
 		archive = flag.Bool("archive", false, "log method: mine the archive directory instead of the live WAL")
 		metrics = flag.String("metrics", "", "serve /metrics and /debug/deltaz on this address (port 0 picks a free port)")
 		live    = flag.Bool("live", false, "run the live capture->queue->warehouse pipeline under -out instead of extraction passes")
-		loadgen = flag.Int("loadgen", 200, "live mode: source statements per second")
-		runFor  = flag.Duration("duration", 0, "live mode: stop after this long (0 = run until interrupted)")
+		loadgen = flag.Int("loadgen", 200, "live/ship mode: source statements per second")
+		runFor  = flag.Duration("duration", 0, "live/serve/ship mode: stop after this long (0 = run until interrupted)")
+		serve   = flag.Bool("serve", false, "run the replication server: accept shippers on -listen, apply under -out")
+		listen  = flag.String("listen", "127.0.0.1:0", "serve mode: replication listen address")
+		ship    = flag.String("ship", "", "run a replication shipper against this server address, capturing under -src")
+		source  = flag.String("source", "src-1", "ship mode: source id announced to the server")
 	)
 	flag.Parse()
+	if *serve {
+		if *outDir == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runServe(*listen, *outDir, *metrics, *runFor); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *ship != "" {
+		if *srcDir == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runShip(*ship, *srcDir, *source, *metrics, *loadgen, *runFor); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *srcDir == "" || *outDir == "" {
 		flag.Usage()
 		os.Exit(2)

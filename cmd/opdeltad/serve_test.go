@@ -1,0 +1,489 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/obs"
+	"opdelta/internal/opdelta"
+	"opdelta/internal/warehouse"
+)
+
+// buildDaemon compiles the daemon binary once per test into its own
+// temp dir (the go build cache makes repeats cheap).
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "opdeltad")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// proc wraps a daemon process whose stdout lines drive the test:
+// resolved metrics/listen addresses are parsed from them and the drain
+// summaries assert clean exits.
+type proc struct {
+	t    *testing.T
+	name string
+	cmd  *exec.Cmd
+	out  chan string
+	done chan error
+}
+
+func startProc(t *testing.T, name, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{t: t, name: name, cmd: cmd, out: make(chan string, 256), done: make(chan error, 1)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			select {
+			case p.out <- sc.Text():
+			default: // never block the child on a full channel
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		select {
+		case <-p.done:
+		case <-time.After(5 * time.Second):
+		}
+	})
+	return p
+}
+
+// expectLine returns the next stdout line containing substr.
+func (p *proc) expectLine(substr string, timeout time.Duration) string {
+	p.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line := <-p.out:
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case err := <-p.done:
+			p.t.Fatalf("%s exited (%v) before printing %q", p.name, err, substr)
+		case <-deadline:
+			p.t.Fatalf("%s: no line containing %q within %v", p.name, substr, timeout)
+		}
+	}
+}
+
+// metricsURL parses the resolved /metrics base URL the daemon prints
+// as its first line when started with -metrics 127.0.0.1:0.
+func (p *proc) metricsURL() string {
+	p.t.Helper()
+	line := p.expectLine("http://", 10*time.Second)
+	i := strings.Index(line, "http://")
+	return strings.TrimSuffix(strings.Fields(line[i:])[0], "/metrics")
+}
+
+func (p *proc) kill9() {
+	p.t.Helper()
+	p.cmd.Process.Kill()
+	select {
+	case <-p.done:
+	case <-time.After(5 * time.Second):
+		p.t.Fatalf("%s did not die after SIGKILL", p.name)
+	}
+}
+
+// drain sends SIGTERM and requires a clean (exit 0) shutdown.
+func (p *proc) drain(timeout time.Duration) {
+	p.t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-p.done:
+		if err != nil {
+			p.t.Fatalf("%s: unclean exit after SIGTERM: %v", p.name, err)
+		}
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		p.t.Fatalf("%s did not drain within %v of SIGTERM", p.name, timeout)
+	}
+}
+
+func scrape(base string) ([]byte, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// waitMetric polls base until the named sample satisfies ok, returning
+// the last scrape body.
+func waitMetric(t *testing.T, base, name string, cond func(float64) bool, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var body []byte
+	for time.Now().Before(deadline) {
+		b, err := scrape(base)
+		if err == nil {
+			body = b
+			if v, ok := sampleValue(b, name); ok && cond(v) {
+				return b
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("metric %s never satisfied condition; last scrape:\n%s", name, body)
+	return nil
+}
+
+// partsSnapshot reads the parts table as pk -> non-timestamp column
+// values. The timestamp column is excluded because each engine stamps
+// it with its own wall clock at execution time, so source and replica
+// legitimately differ there. Duplicate primary keys fail the test —
+// that is the visible symptom of a redelivered op applied twice.
+func partsSnapshot(t *testing.T, db *engine.DB) map[string]string {
+	t.Helper()
+	tbl, err := db.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkIdx, _ := tbl.Schema.ColIndex("part_id")
+	tsIdx, _ := tbl.Schema.ColIndex("last_modified")
+	rows := make(map[string]string)
+	err = db.ScanTable(nil, "parts", func(row catalog.Tuple) error {
+		cols := make([]string, 0, len(row))
+		for i, v := range row {
+			if i == tsIdx {
+				continue
+			}
+			cols = append(cols, fmt.Sprint(v))
+		}
+		key := fmt.Sprint(row[pkIdx])
+		if _, dup := rows[key]; dup {
+			t.Errorf("duplicate primary key %s in replica", key)
+		}
+		rows[key] = strings.Join(cols, "|")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// verifyReplica proves the exactly-once contract after both processes
+// have exited: the warehouse's applied log must cover at least the seq
+// the shipper reported acked, and the replica's rows must equal an
+// in-process replay of the source op log truncated at exactly that
+// applied seq — any lost op, duplicate apply, or reordering shows up
+// as a row difference.
+func verifyReplica(t *testing.T, srcDir, whDir string, ackedReported uint64) {
+	t.Helper()
+
+	wh, err := engine.Open(whDir, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	applied, err := warehouse.EnsureAppliedLog(warehouse.New(wh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxApplied, err := applied.MaxSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server acks enqueue durability; apply catches up by drain time.
+	if maxApplied < ackedReported {
+		t.Fatalf("warehouse applied through seq %d < shipper-acked seq %d", maxApplied, ackedReported)
+	}
+	got := partsSnapshot(t, wh)
+
+	src, err := engine.Open(srcDir, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	oplog, err := opdelta.NewTableLog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := oplog.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcTbl, err := src.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refDB, err := engine.Open(filepath.Join(t.TempDir(), "ref"), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refDB.Close()
+	refWH := warehouse.New(refDB)
+	if err := refWH.RegisterReplica("parts", srcTbl.Schema, "part_id", "last_modified"); err != nil {
+		t.Fatal(err)
+	}
+	integ := &warehouse.ParallelIntegrator{W: refWH, Workers: 2}
+	var batch []*opdelta.Op
+	replayed := 0
+	for _, op := range ops {
+		if op.Seq > maxApplied {
+			break
+		}
+		batch = append(batch, op)
+		replayed++
+		if len(batch) == 256 {
+			if _, err := integ.Apply(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if _, err := integ.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replayed == 0 {
+		t.Fatal("reference replay covered zero ops")
+	}
+	want := partsSnapshot(t, refDB)
+
+	if len(got) != len(want) {
+		t.Errorf("replica has %d rows, reference replay of %d ops has %d", len(got), replayed, len(want))
+	}
+	for pk, w := range want {
+		if g, ok := got[pk]; !ok {
+			t.Errorf("replica lost row pk=%s (%s)", pk, w)
+		} else if g != w {
+			t.Errorf("replica row pk=%s = %q, want %q", pk, g, w)
+		}
+	}
+	for pk, g := range got {
+		if _, ok := want[pk]; !ok {
+			t.Errorf("replica has extra row pk=%s (%s)", pk, g)
+		}
+	}
+}
+
+// ackedSeq parses the shipper's drain summary line.
+func ackedSeq(t *testing.T, line string) uint64 {
+	t.Helper()
+	var n uint64
+	if _, err := fmt.Sscanf(line[strings.Index(line, "acked seq"):], "acked seq %d", &n); err != nil {
+		t.Fatalf("cannot parse acked seq from %q: %v", line, err)
+	}
+	return n
+}
+
+// TestServeShipMetricsScrape is the CI gate for the networked pair: a
+// replication server and two source shippers run as separate
+// processes, the server /metrics must expose per-source apply and
+// freshness-lag series and the shipper /metrics the reconnect/retry/
+// redelivery/in-flight window series, and after a graceful drain each
+// source's replica must match an exact replay of its op log.
+func TestServeShipMetricsScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns daemon binaries")
+	}
+	bin := buildDaemon(t)
+	work := t.TempDir()
+
+	srv := startProc(t, "serve", bin,
+		"-serve", "-out", filepath.Join(work, "out"),
+		"-listen", "127.0.0.1:0", "-metrics", "127.0.0.1:0",
+		"-duration", "2m")
+	srvMetrics := srv.metricsURL()
+	listenLine := srv.expectLine("listening on", 10*time.Second)
+	addr := listenLine[strings.Index(listenLine, "listening on ")+len("listening on "):]
+
+	ships := make([]*proc, 2)
+	shipMetrics := make([]string, 2)
+	for i, source := range []string{"src-a", "src-b"} {
+		ships[i] = startProc(t, "ship-"+source, bin,
+			"-ship", addr, "-src", filepath.Join(work, source),
+			"-source", source, "-metrics", "127.0.0.1:0",
+			"-loadgen", "500", "-duration", "2m")
+		shipMetrics[i] = ships[i].metricsURL()
+	}
+
+	// Both sources must flow end to end: enqueued on the server, applied
+	// into per-source warehouses, freshness lag live.
+	for _, source := range []string{"src-a", "src-b"} {
+		waitMetric(t, srvMetrics,
+			fmt.Sprintf("netrepl_applied_ops_total{source=%q}", source),
+			func(v float64) bool { return v >= 20 }, 20*time.Second)
+	}
+	body, err := scrape(srvMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("malformed server exposition: %v", err)
+	}
+	for _, name := range []string{
+		"netrepl_server_enqueued_ops_total",
+		"netrepl_server_connects_total",
+		`netrepl_server_last_seq{source="src-a"}`,
+		`netrepl_server_last_seq{source="src-b"}`,
+	} {
+		if v, ok := sampleValue(body, name); !ok || v <= 0 {
+			t.Errorf("server series %s = %v (present=%v), want > 0", name, v, ok)
+		}
+	}
+	for _, source := range []string{"src-a", "src-b"} {
+		name := fmt.Sprintf("netrepl_freshness_lag_us{source=%q}", source)
+		if _, ok := sampleValue(body, name); !ok {
+			t.Errorf("server series %s missing", name)
+		}
+	}
+
+	for i, source := range []string{"src-a", "src-b"} {
+		b, err := scrape(shipMetrics[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateExposition(b); err != nil {
+			t.Fatalf("malformed shipper exposition: %v", err)
+		}
+		// Counters that stay zero on a healthy run must still be exposed.
+		for _, name := range []string{
+			fmt.Sprintf("netrepl_shipper_reconnects_total{source=%q}", source),
+			fmt.Sprintf("netrepl_shipper_retries_total{source=%q}", source),
+			fmt.Sprintf("netrepl_shipper_redelivered_ops_total{source=%q}", source),
+			fmt.Sprintf("netrepl_shipper_inflight_batches{source=%q}", source),
+		} {
+			if _, ok := sampleValue(b, name); !ok {
+				t.Errorf("shipper series %s missing", name)
+			}
+		}
+		for _, name := range []string{
+			fmt.Sprintf("netrepl_shipper_ops_sent_total{source=%q}", source),
+			fmt.Sprintf("netrepl_shipper_acked_seq{source=%q}", source),
+		} {
+			if v, ok := sampleValue(b, name); !ok || v <= 0 {
+				t.Errorf("shipper series %s = %v (present=%v), want > 0", name, v, ok)
+			}
+		}
+	}
+
+	// Graceful drain: shippers first (they flush their windows), then the
+	// server (appliers drain every enqueued op before exit).
+	acked := make([]uint64, 2)
+	for i := range ships {
+		ships[i].drain(15 * time.Second)
+		acked[i] = ackedSeq(t, ships[i].expectLine("drained at acked seq", time.Second))
+	}
+	srv.drain(15 * time.Second)
+	srv.expectLine("2 source(s) closed", time.Second)
+
+	for i, source := range []string{"src-a", "src-b"} {
+		verifyReplica(t, filepath.Join(work, source), filepath.Join(work, "out", "wh-"+source), acked[i])
+	}
+}
+
+// TestServeShipKill9Resume proves the acceptance criterion directly:
+// kill -9 the shipper mid-stream and restart it, then kill -9 the
+// server mid-stream and restart it; both restarts must resume from the
+// last acked durable LSN, the surviving shipper must reconnect on its
+// own, and after a final graceful drain the replica must equal an
+// exact replay of the source op log — nothing lost, nothing doubled.
+func TestServeShipKill9Resume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns daemon binaries")
+	}
+	bin := buildDaemon(t)
+	work := t.TempDir()
+	outDir := filepath.Join(work, "out")
+	srcDir := filepath.Join(work, "src")
+
+	startServer := func(listen string) (*proc, string, string) {
+		p := startProc(t, "serve", bin,
+			"-serve", "-out", outDir,
+			"-listen", listen, "-metrics", "127.0.0.1:0",
+			"-duration", "2m")
+		metrics := p.metricsURL()
+		line := p.expectLine("listening on", 10*time.Second)
+		return p, metrics, line[strings.Index(line, "listening on ")+len("listening on "):]
+	}
+	startShipper := func(addr string) (*proc, string) {
+		p := startProc(t, "ship", bin,
+			"-ship", addr, "-src", srcDir, "-source", "src-a",
+			"-metrics", "127.0.0.1:0", "-loadgen", "500", "-duration", "2m")
+		return p, p.metricsURL()
+	}
+
+	srv, srvMetrics, addr := startServer("127.0.0.1:0")
+	ship, _ := startShipper(addr)
+
+	lastSeq := `netrepl_server_last_seq{source="src-a"}`
+
+	// Phase 1: let the stream establish, then kill -9 the shipper.
+	waitMetric(t, srvMetrics, lastSeq, func(v float64) bool { return v >= 50 }, 20*time.Second)
+	ship.kill9()
+	b, err := scrape(srvMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqAtShipKill, _ := sampleValue(b, lastSeq)
+
+	// Phase 2: a fresh shipper process resumes from the server's WELCOME
+	// watermark and the stream advances past where it died.
+	ship, shipMetrics := startShipper(addr)
+	waitMetric(t, srvMetrics, lastSeq,
+		func(v float64) bool { return v >= seqAtShipKill+50 }, 20*time.Second)
+
+	// Phase 3: kill -9 the server mid-stream. The shipper survives on
+	// its retry loop; a restarted server recovers its topics from disk at
+	// (at least) the killed server's watermark and the shipper reconnects
+	// without losing its stream position.
+	srv.kill9()
+	b, err = scrape(shipMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackedAtSrvKill, _ := sampleValue(b, `netrepl_shipper_acked_seq{source="src-a"}`)
+
+	srv, srvMetrics2, _ := startServer(addr) // rebind the same address
+	body := waitMetric(t, srvMetrics2, lastSeq,
+		func(v float64) bool { return v >= ackedAtSrvKill+50 }, 30*time.Second)
+	if v, ok := sampleValue(body, lastSeq); !ok || v < ackedAtSrvKill {
+		t.Fatalf("restarted server recovered seq %v < acked %v at kill time", v, ackedAtSrvKill)
+	}
+	b = waitMetric(t, shipMetrics, `netrepl_shipper_reconnects_total{source="src-a"}`,
+		func(v float64) bool { return v >= 1 }, 20*time.Second)
+	if v, ok := sampleValue(b, `netrepl_shipper_retries_total{source="src-a"}`); !ok || v < 1 {
+		t.Errorf("shipper retries = %v (present=%v), want >= 1 after server kill", v, ok)
+	}
+
+	// Final drain and the exactly-once ledger check.
+	ship.drain(15 * time.Second)
+	acked := ackedSeq(t, ship.expectLine("drained at acked seq", time.Second))
+	if acked < uint64(ackedAtSrvKill) {
+		t.Errorf("final acked seq %d regressed below %v (acked before server kill)", acked, ackedAtSrvKill)
+	}
+	srv.drain(15 * time.Second)
+	verifyReplica(t, srcDir, filepath.Join(outDir, "wh-src-a"), acked)
+}

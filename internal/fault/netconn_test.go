@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readN reads exactly n bytes or fails the test.
+func readN(t *testing.T, c net.Conn, n int) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("ReadFull(%d): %v", n, err)
+	}
+	return buf
+}
+
+// TestNetReliable: a zero profile delivers every segment intact, in
+// order, in both directions.
+func TestNetReliable(t *testing.T) {
+	nw := NewNet(NetProfile{Seed: 1})
+	defer nw.Close()
+	lis := nw.Listener()
+
+	var server net.Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := lis.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		server = c
+	}()
+	client, err := nw.Dial()
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	<-done
+	if server == nil {
+		t.Fatal("no server conn")
+	}
+
+	for i := 0; i < 100; i++ {
+		msg := bytes.Repeat([]byte{byte(i)}, 10+i)
+		if _, err := client.Write(msg); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+		if got := readN(t, server, len(msg)); !bytes.Equal(got, msg) {
+			t.Fatalf("segment %d corrupted", i)
+		}
+		// And the reverse direction.
+		if _, err := server.Write(msg); err != nil {
+			t.Fatalf("server Write %d: %v", i, err)
+		}
+		if got := readN(t, client, len(msg)); !bytes.Equal(got, msg) {
+			t.Fatalf("reverse segment %d corrupted", i)
+		}
+	}
+	if s := nw.Stats(); s != (NetStats{}) {
+		t.Errorf("zero profile injected faults: %+v", s)
+	}
+}
+
+// TestNetDeterministic: two nets with the same seed inject the
+// identical fault sequence; a different seed diverges.
+func TestNetDeterministic(t *testing.T) {
+	run := func(seed int64) (delivered []int, stats NetStats) {
+		p := NetProfile{Seed: seed, DropProb: 0.3, DupProb: 0.2, ReorderProb: 0.2}
+		nw := NewNet(p)
+		defer nw.Close()
+		lis := nw.Listener()
+		var server net.Conn
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); server, _ = lis.Accept() }()
+		client, err := nw.Dial()
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		wg.Wait()
+		for i := 0; i < 200; i++ {
+			client.Write([]byte{byte(i)}) // 1-byte segments: no partial reads
+		}
+		server.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		buf := make([]byte, 1)
+		for {
+			n, err := server.Read(buf)
+			if n == 1 {
+				delivered = append(delivered, int(buf[0]))
+			}
+			if err != nil {
+				break
+			}
+		}
+		return delivered, nw.Stats()
+	}
+	d1, s1 := run(99)
+	d2, s2 := run(99)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("same seed, different delivery count: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("same seed, delivery diverged at %d: %d vs %d", i, d1[i], d2[i])
+		}
+	}
+	if s1.Drops == 0 || s1.Dups == 0 {
+		t.Errorf("profile injected no faults: %+v", s1)
+	}
+	d3, s3 := run(100)
+	if len(d3) == len(d1) && s3 == s1 {
+		t.Errorf("different seeds produced identical runs")
+	}
+}
+
+// TestNetCut: a cut decision kills the connection bilaterally — the
+// writer's next Write and the reader's next Read both fail.
+func TestNetCut(t *testing.T) {
+	nw := NewNet(NetProfile{Seed: 5, CutProb: 1})
+	defer nw.Close()
+	lis := nw.Listener()
+	var server net.Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); server, _ = lis.Accept() }()
+	client, err := nw.Dial()
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wg.Wait()
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Fatal("Write through CutProb=1 succeeded")
+	}
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Fatal("Read on cut connection succeeded")
+	}
+	if s := nw.Stats(); s.Cuts == 0 {
+		t.Errorf("no cut recorded: %+v", s)
+	}
+}
+
+// TestNetTruncate: a truncate decision delivers a strict prefix and
+// then the connection dies — the receiver sees a torn segment then EOF.
+func TestNetTruncate(t *testing.T) {
+	nw := NewNet(NetProfile{Seed: 3, TruncateProb: 1})
+	defer nw.Close()
+	lis := nw.Listener()
+	var server net.Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); server, _ = lis.Accept() }()
+	client, err := nw.Dial()
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wg.Wait()
+	msg := bytes.Repeat([]byte{0xAB}, 64)
+	if _, err := client.Write(msg); err == nil {
+		t.Fatal("truncating Write reported success")
+	}
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	got, _ := io.ReadAll(server)
+	if len(got) == 0 || len(got) >= len(msg) {
+		t.Fatalf("truncated delivery of %d bytes, want strict non-empty prefix of %d", len(got), len(msg))
+	}
+}
+
+// TestNetDialFail: DialFailProb=1 fails every dial with ErrDialFault.
+func TestNetDialFail(t *testing.T) {
+	nw := NewNet(NetProfile{Seed: 4, DialFailProb: 1})
+	defer nw.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := nw.Dial(); !errors.Is(err, ErrDialFault) {
+			t.Fatalf("Dial %d: err = %v, want ErrDialFault", i, err)
+		}
+	}
+	if s := nw.Stats(); s.DialFails != 5 {
+		t.Errorf("DialFails = %d, want 5", s.DialFails)
+	}
+}
+
+// TestNetDeadline: a read deadline on an idle connection fires with a
+// timeout error instead of blocking forever.
+func TestNetDeadline(t *testing.T) {
+	nw := NewNet(NetProfile{Seed: 6})
+	defer nw.Close()
+	lis := nw.Listener()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); lis.Accept() }()
+	client, err := nw.Dial()
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wg.Wait()
+	client.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	_, rerr := client.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(rerr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("Read past deadline: err = %v, want net timeout", rerr)
+	}
+}

@@ -391,16 +391,26 @@ func (l *FileLog) Read(fromSeq uint64) ([]*Op, error) {
 }
 
 func (l *FileLog) decodeFrame(frame []byte) (*Op, int, error) {
+	return DecodeOpResolve(frame, l.SchemaOf)
+}
+
+// DecodeOpResolve decodes one encoded op, resolving the schema needed
+// for hybrid before images on demand: plain ops decode schema-free, and
+// only when that fails is the table name peeked from the frame and
+// schemaOf consulted. Both the file log and the wire-protocol applier
+// decode with it — anything that receives encoded ops without knowing
+// in advance which tables carry images.
+func DecodeOpResolve(frame []byte, schemaOf func(table string) (*catalog.Schema, error)) (*Op, int, error) {
 	op, n, err := DecodeOp(frame, nil)
 	if err == nil {
 		return op, n, nil
 	}
 	// Retry with a schema: the frame may carry before images.
-	if l.SchemaOf == nil {
+	if schemaOf == nil {
 		return nil, 0, err
 	}
-	// Table name sits after the fixed header; decode it cheaply by
-	// decoding without images first failed, so parse the prefix.
+	// The table name blob sits after the fixed 26-byte header; peek it
+	// to ask schemaOf which schema decodes the images.
 	if len(frame) < 26 {
 		return nil, 0, err
 	}
@@ -408,7 +418,7 @@ func (l *FileLog) decodeFrame(frame []byte) (*Op, int, error) {
 	if berr != nil {
 		return nil, 0, err
 	}
-	schema, serr := l.SchemaOf(string(tbl))
+	schema, serr := schemaOf(string(tbl))
 	if serr != nil {
 		return nil, 0, serr
 	}

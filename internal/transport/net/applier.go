@@ -1,0 +1,96 @@
+package netrepl
+
+import (
+	"errors"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/obs"
+	"opdelta/internal/opdelta"
+	"opdelta/internal/transport"
+	"opdelta/internal/warehouse"
+)
+
+// Applier drains one topic into one warehouse through the parallel
+// integrator. The queue gives at-least-once delivery (a crash between
+// apply and Ack replays the tail); the integrator's AppliedLog turns
+// that into exactly-once effects. Each op gets a lifecycle trace
+// beginning at its source capture timestamp — carried inside the op
+// encoding — so the warehouse-side tracer measures true end-to-end
+// freshness across the wire.
+type Applier struct {
+	Topic *Topic
+	// Integrator applies batches; set Applied on it for exactly-once.
+	Integrator *warehouse.ParallelIntegrator
+	// SchemaOf resolves schemas for ops carrying before images; nil is
+	// fine when none do.
+	SchemaOf func(table string) (*catalog.Schema, error)
+	// Tracer, when set, traces each op's dequeue→durable lifecycle.
+	Tracer *obs.Tracer
+	// Obs receives the applier's metrics; nil keeps a private registry.
+	Obs *obs.Registry
+	// BatchOps bounds ops per integrator call. Default 256.
+	BatchOps int
+	// PollEvery paces the empty-queue wait. Default 5ms.
+	PollEvery time.Duration
+}
+
+// Run applies until stop closes. The final partial batch is applied
+// and acked before returning, so a graceful shutdown loses nothing.
+func (a *Applier) Run(stop <-chan struct{}) error {
+	reg := a.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	batchOps := a.BatchOps
+	if batchOps <= 0 {
+		batchOps = 256
+	}
+	poll := a.PollEvery
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	l := obs.L("source", a.Topic.Source)
+	applied := reg.Counter("netrepl_applied_ops_total", l)
+	// Freshness lag of this source's replica: capture→durable latency of
+	// the most recently applied op. A scrape between batches sees the
+	// lag the pipeline actually delivered, not a value that grows while
+	// the source is simply quiet.
+	freshness := reg.Gauge("netrepl_freshness_lag_us", l)
+	for {
+		var batch []*opdelta.Op
+		for len(batch) < batchOps {
+			msg, err := a.Topic.Q.Next()
+			if errors.Is(err, transport.ErrEmpty) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			op, _, err := opdelta.DecodeOpResolve(msg, a.SchemaOf)
+			if err != nil {
+				return err
+			}
+			op.Trace = a.Tracer.Begin(op.Seq, op.Txn, op.Time)
+			op.Trace.Dequeued()
+			batch = append(batch, op)
+		}
+		if len(batch) == 0 {
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if _, err := a.Integrator.Apply(batch); err != nil {
+			return err
+		}
+		if err := a.Topic.Q.Ack(); err != nil {
+			return err
+		}
+		applied.Add(uint64(len(batch)))
+		last := batch[len(batch)-1]
+		freshness.Set(time.Since(last.Time).Microseconds())
+	}
+}

@@ -1,0 +1,152 @@
+package netrepl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameRoundTrip: every type and assorted payload sizes survive
+// write→read intact.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xA5}, 10_000)}
+	types := []byte{FrameHello, FrameWelcome, FrameDelta, FrameAck, FrameBusy, FrameHeartbeat, FrameShutdown, FrameReject}
+	var buf bytes.Buffer
+	for _, typ := range types {
+		for i, p := range payloads {
+			buf.Reset()
+			if err := WriteFrame(&buf, typ, FlagReply, p); err != nil {
+				t.Fatalf("%s payload %d: write: %v", frameName(typ), i, err)
+			}
+			gt, gf, gp, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("%s payload %d: read: %v", frameName(typ), i, err)
+			}
+			if gt != typ || gf != FlagReply || !bytes.Equal(gp, p) {
+				t.Fatalf("%s payload %d: round trip mismatch", frameName(typ), i)
+			}
+		}
+	}
+}
+
+// TestFrameCorruptionDetected: flipping any single byte of an encoded
+// frame must fail the read — the CRC covers header and payload both.
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameDelta, 0, []byte("the quick brown fox")); err != nil {
+		t.Fatal(err)
+	}
+	clean := append([]byte(nil), buf.Bytes()...)
+	for i := range clean {
+		for _, bit := range []byte{0x01, 0x80} {
+			dirty := append([]byte(nil), clean...)
+			dirty[i] ^= bit
+			_, _, _, err := ReadFrame(bytes.NewReader(dirty))
+			if err == nil {
+				t.Fatalf("flipped bit %02x at byte %d went undetected", bit, i)
+			}
+		}
+	}
+	// A torn frame (prefix only) is a transport error, not silence.
+	for _, cut := range []int{1, headerSize - 1, headerSize, len(clean) - 1} {
+		_, _, _, err := ReadFrame(bytes.NewReader(clean[:cut]))
+		if err == nil {
+			t.Fatalf("torn frame (%d of %d bytes) read successfully", cut, len(clean))
+		}
+	}
+	// Oversized declared length fails before allocation.
+	huge := append([]byte(nil), clean...)
+	huge[2], huge[3], huge[4], huge[5] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized length: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestDeltaPayloadRoundTrip: batch encode/parse preserves op frames and
+// rejects truncation.
+func TestDeltaPayloadRoundTrip(t *testing.T) {
+	ops := [][]byte{
+		append(seqPayload(7), []byte("op-seven")...),
+		append(seqPayload(8), []byte("op-eight")...),
+		seqPayload(9),
+	}
+	p := deltaPayload(6, ops)
+	prev, got, err := parseDelta(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != 6 {
+		t.Fatalf("prev seq = %d, want 6", prev)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("parsed %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if !bytes.Equal(got[i], ops[i]) {
+			t.Fatalf("op %d mismatch", i)
+		}
+		seq, err := opSeq(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(7 + i); seq != want {
+			t.Fatalf("op %d seq = %d, want %d", i, seq, want)
+		}
+	}
+	if _, _, err := parseDelta(p[:len(p)-2]); err == nil {
+		t.Fatal("truncated DELTA parsed successfully")
+	}
+	if _, _, err := parseDelta(append(p, 0)); err == nil {
+		t.Fatal("DELTA with trailing garbage parsed successfully")
+	}
+}
+
+// TestHelloRoundTrip checks the handshake payload codec.
+func TestHelloRoundTrip(t *testing.T) {
+	v, src, err := parseHello(helloPayload("src-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Version || src != "src-a" {
+		t.Fatalf("parsed version %d source %q", v, src)
+	}
+	if _, _, err := parseHello([]byte{Version}); err == nil {
+		t.Fatal("empty source parsed successfully")
+	}
+	seq, err := parseSeq(seqPayload(1 << 40))
+	if err != nil || seq != 1<<40 {
+		t.Fatalf("seq round trip: %d, %v", seq, err)
+	}
+	if _, err := parseSeq([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short seq payload parsed successfully")
+	}
+}
+
+// io.Reader sanity: ReadFrame must work over a reader that returns one
+// byte at a time (TCP segment boundaries are arbitrary).
+func TestFrameReadByteAtATime(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameAck, 0, seqPayload(42)); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, payload, err := ReadFrame(iotest{r: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != FrameAck {
+		t.Fatalf("type = %s", frameName(typ))
+	}
+	if seq, _ := parseSeq(payload); seq != 42 {
+		t.Fatalf("seq = %d", seq)
+	}
+}
+
+type iotest struct{ r io.Reader }
+
+func (o iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}

@@ -1,0 +1,356 @@
+package netrepl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"opdelta/internal/fault"
+	"opdelta/internal/obs"
+	"opdelta/internal/transport"
+)
+
+// ServerConfig configures the warehouse-side replication server.
+type ServerConfig struct {
+	// Dir is the root for per-source topic queues
+	// (<dir>/<source>/queue.dat).
+	Dir string
+	// FS is the filesystem the topics live on; nil means the OS.
+	FS fault.FS
+	// Obs receives the server's metrics; nil keeps a private registry.
+	Obs *obs.Registry
+	// MaxConns bounds concurrently serviced connections; beyond it new
+	// connections get a BUSY frame and are closed (load shedding, the
+	// client backs off). Default 64.
+	MaxConns int
+	// Lease is the per-connection liveness window: a connection idle
+	// longer than this (no DELTA, no heartbeat) is presumed dead and
+	// closed, releasing its slot. Default 15s.
+	Lease time.Duration
+	// OnEnqueue, when set, is called after a batch is durably enqueued
+	// on a topic (fresh ops only, dedup excluded). The server calls it
+	// from the connection's goroutine.
+	OnEnqueue func(source string, ops int)
+	// UnsafeAcceptOutOfOrder disables the DELTA chain check (prevSeq
+	// must equal the topic watermark). With it off, a reordered batch
+	// advances the watermark past ops that never arrived and the skipped
+	// ops are later dropped as replays — silent loss under a clean ack.
+	// It exists only so the simnet harness can demonstrate that failure
+	// mode; never set it in real deployments.
+	UnsafeAcceptOutOfOrder bool
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	c.FS = fault.OrOS(c.FS)
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.Lease <= 0 {
+		c.Lease = 15 * time.Second
+	}
+	return c
+}
+
+// Server accepts N concurrent source shippers, writes their op batches
+// into per-source durable queue topics, and acks the durable seq.
+// Replayed ops — redelivery after a reconnect or a duplicated frame —
+// are deduplicated against the topic's high-water seq before they
+// reach the queue, which is sound because ops arrive in seq order
+// within a source: the queue is strictly ascending, so "seq ≤ lastSeq"
+// is exactly "already durably enqueued".
+type Server struct {
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	topics  map[string]*Topic
+	conns   map[net.Conn]bool
+	closed  bool
+	serveWG sync.WaitGroup
+
+	connects    *obs.Counter
+	busy        *obs.Counter
+	rejects     *obs.Counter
+	connsGauge  *obs.Gauge
+	badFrames   *obs.Counter
+	enqueuedOps *obs.Counter
+	redelivered *obs.Counter
+	outOfOrder  *obs.Counter
+}
+
+// NewServer creates a replication server; call Serve with a listener
+// to start accepting.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, topics: make(map[string]*Topic), conns: make(map[net.Conn]bool)}
+	reg := cfg.Obs
+	s.connects = reg.Counter("netrepl_server_connects_total")
+	s.busy = reg.Counter("netrepl_server_busy_total")
+	s.rejects = reg.Counter("netrepl_server_rejects_total")
+	s.connsGauge = reg.Gauge("netrepl_server_active_conns")
+	s.badFrames = reg.Counter("netrepl_server_bad_frames_total")
+	s.enqueuedOps = reg.Counter("netrepl_server_enqueued_ops_total")
+	s.redelivered = reg.Counter("netrepl_server_redelivered_ops_total")
+	s.outOfOrder = reg.Counter("netrepl_server_out_of_order_batches_total")
+	return s
+}
+
+// Topic is one source's durable op stream at the warehouse side: a
+// persistent queue plus the dedup high-water mark. The queue is the
+// durable record; lastSeq is recovered from it on open.
+type Topic struct {
+	Source string
+	Q      *transport.Queue
+
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// LastSeq returns the highest op seq durably enqueued on the topic.
+func (t *Topic) LastSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastSeq
+}
+
+// Topic opens (or creates) the source's topic. Safe for concurrent
+// use; the applier obtains the same topic the connections feed.
+func (s *Server) Topic(source string) (*Topic, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.topics[source]; t != nil {
+		return t, nil
+	}
+	q, err := transport.OpenQueueObs(s.cfg.FS, filepath.Join(s.cfg.Dir, source), s.cfg.Obs, obs.L("source", source))
+	if err != nil {
+		return nil, err
+	}
+	t := &Topic{Source: source, Q: q}
+	// Recover the dedup mark from the queue itself: every message is an
+	// encoded op with its seq in the first 8 bytes, and appends are in
+	// seq order, so the maximum over the file is the high-water mark.
+	if err := q.ForEach(func(msg []byte) error {
+		seq, err := opSeq(msg)
+		if err != nil {
+			return err
+		}
+		if seq > t.lastSeq {
+			t.lastSeq = seq
+		}
+		return nil
+	}); err != nil {
+		q.Close()
+		return nil, err
+	}
+	s.topics[source] = t
+	s.cfg.Obs.GaugeFunc("netrepl_server_last_seq", func() float64 {
+		return float64(t.LastSeq())
+	}, obs.L("source", source))
+	return t, nil
+}
+
+// Sources returns the sources with open topics, sorted.
+func (s *Server) Sources() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.topics))
+	for src := range s.topics {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Serve accepts connections on lis until the listener fails or the
+// server shuts down. It returns nil after Shutdown/Close.
+func (s *Server) Serve(lis net.Listener) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			// Shed load explicitly: the client reads BUSY and backs off
+			// instead of diagnosing a silent close.
+			s.busy.Inc()
+			WriteFrame(conn, FrameBusy, 0, nil)
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = true
+		s.connsGauge.Set(int64(len(s.conns)))
+		s.serveWG.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.serveWG.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.connsGauge.Set(int64(len(s.conns)))
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// handle services one shipper connection: HELLO/WELCOME handshake,
+// then DELTA→ACK and heartbeat echo until the stream ends.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(s.cfg.Lease))
+	typ, _, payload, err := ReadFrame(conn)
+	if err != nil || typ != FrameHello {
+		s.badFrames.Inc()
+		return
+	}
+	version, source, err := parseHello(payload)
+	if err != nil || source == "" || version != Version {
+		reason := fmt.Sprintf("unsupported version %d (want %d)", version, Version)
+		if err != nil || source == "" {
+			reason = "missing source id"
+		}
+		s.rejects.Inc()
+		WriteFrame(conn, FrameReject, 0, []byte(reason))
+		return
+	}
+	topic, err := s.Topic(source)
+	if err != nil {
+		s.rejects.Inc()
+		WriteFrame(conn, FrameReject, 0, []byte(err.Error()))
+		return
+	}
+	s.connects.Inc()
+	if err := WriteFrame(conn, FrameWelcome, 0, seqPayload(topic.LastSeq())); err != nil {
+		return
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.Lease))
+		typ, _, payload, err := ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, ErrBadFrame) {
+				// The framing is broken — resynchronizing mid-stream is
+				// impossible, so force the client through reconnect+resume.
+				s.badFrames.Inc()
+			}
+			return
+		}
+		switch typ {
+		case FrameDelta:
+			ack, err := s.enqueue(topic, payload)
+			if err != nil {
+				s.badFrames.Inc()
+				return
+			}
+			if err := WriteFrame(conn, FrameAck, 0, seqPayload(ack)); err != nil {
+				return
+			}
+		case FrameHeartbeat:
+			if err := WriteFrame(conn, FrameHeartbeat, FlagReply, nil); err != nil {
+				return
+			}
+		case FrameShutdown:
+			return
+		default:
+			s.badFrames.Inc()
+			return
+		}
+	}
+}
+
+// enqueue appends a DELTA batch's fresh ops to the topic and returns
+// the seq to ack. The topic mutex spans parse-filter-append so two
+// connections for one source (an old half-dead one plus its
+// replacement) cannot interleave appends out of seq order.
+func (s *Server) enqueue(topic *Topic, payload []byte) (uint64, error) {
+	prevSeq, encOps, err := parseDelta(payload)
+	if err != nil {
+		return 0, err
+	}
+	topic.mu.Lock()
+	defer topic.mu.Unlock()
+	if prevSeq > topic.lastSeq && !s.cfg.UnsafeAcceptOutOfOrder {
+		// The batch chains onto a seq we have not made durable: a
+		// reordered segment jumped ahead of its predecessor. Accepting it
+		// would advance the watermark past ops that never arrived — the
+		// predecessor would then look like a replay and be dropped, a
+		// silent loss under a clean ack. Ignore the batch and duplicate-ack
+		// the current watermark; the shipper's ack timeout forces a
+		// reconnect that resends everything from it in order.
+		s.outOfOrder.Inc()
+		return topic.lastSeq, nil
+	}
+	fresh := 0
+	for _, enc := range encOps {
+		seq, err := opSeq(enc)
+		if err != nil {
+			return 0, err
+		}
+		if seq <= topic.lastSeq {
+			s.redelivered.Inc()
+			continue
+		}
+		// Append is durable on return (group-synced fsync), so acking
+		// lastSeq after this loop acks only durable ops.
+		if err := topic.Q.Append(enc); err != nil {
+			return 0, err
+		}
+		topic.lastSeq = seq
+		fresh++
+	}
+	s.enqueuedOps.Add(uint64(fresh))
+	if fresh > 0 && s.cfg.OnEnqueue != nil {
+		s.cfg.OnEnqueue(topic.Source, fresh)
+	}
+	return topic.lastSeq, nil
+}
+
+// Shutdown stops accepting, announces SHUTDOWN on every active
+// connection, waits for handlers to drain, and closes the topics.
+// The listener passed to Serve is closed by the caller.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		// Best effort: tell the shipper this is a graceful close, not a
+		// crash, then sever. The shipper backs off and resumes later.
+		WriteFrame(c, FrameShutdown, 0, nil)
+		c.Close()
+	}
+	s.serveWG.Wait()
+	var firstErr error
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.topics {
+		if err := t.Q.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

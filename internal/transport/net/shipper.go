@@ -1,0 +1,346 @@
+package netrepl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/obs"
+	"opdelta/internal/opdelta"
+	"opdelta/internal/transport/retry"
+)
+
+// ShipperConfig configures a source-side shipper.
+type ShipperConfig struct {
+	// Source identifies this source to the server (the topic name).
+	Source string
+	// Dial opens a connection to the server. Called anew for every
+	// (re)connect attempt.
+	Dial func() (net.Conn, error)
+	// Fetch returns ops with Seq > fromSeq in seq order (the op log's
+	// Read). The shipper takes at most BatchOps of them per DELTA.
+	Fetch func(fromSeq uint64) ([]*opdelta.Op, error)
+	// SchemaOf resolves schemas for encoding hybrid before images; nil
+	// is fine when no op carries them.
+	SchemaOf func(table string) (*catalog.Schema, error)
+	// Obs receives the shipper's metrics; nil keeps a private registry.
+	Obs *obs.Registry
+
+	// BatchOps bounds ops per DELTA frame. Default 64.
+	BatchOps int
+	// Window bounds unacked DELTA batches in flight. When it is full
+	// the shipper stops fetching — backpressure reaches the op log
+	// cursor instead of ballooning memory. Default 4.
+	Window int
+	// Retry is the reconnect backoff schedule.
+	Retry retry.Policy
+	// AckTimeout bounds how long the oldest in-flight batch may stay
+	// unacked before the connection is declared wedged (a dropped DELTA
+	// or ACK frame would otherwise stall the window forever: resend
+	// happens only on reconnect). Default 2s.
+	AckTimeout time.Duration
+	// HeartbeatEvery is the idle probe interval; the server's echo
+	// proves the connection alive with no data to ship. Default
+	// AckTimeout/2.
+	HeartbeatEvery time.Duration
+	// PollEvery paces the idle loop: how often the shipper polls Fetch
+	// and the connection for frames. Default 5ms.
+	PollEvery time.Duration
+}
+
+func (c ShipperConfig) withDefaults() ShipperConfig {
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	if c.BatchOps <= 0 {
+		c.BatchOps = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 2 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.AckTimeout / 2
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Shipper streams a source's op log to the replication server with
+// resumable at-least-once delivery: batches flow inside a bounded
+// unacked window, acks advance the durable cursor, and any failure —
+// dial error, BUSY, torn frame, ack timeout, dead heartbeat — tears
+// the connection down and reconnects with jittered exponential
+// backoff, resuming from the seq the server's WELCOME names. The
+// server's dedup makes the resulting redelivery harmless.
+type Shipper struct {
+	cfg ShipperConfig
+
+	acked   atomic.Uint64 // highest server-acked durable seq
+	maxSent uint64        // highest seq ever written to any connection
+
+	reconnects   *obs.Counter
+	retries      *obs.Counter
+	batchesSent  *obs.Counter
+	opsSent      *obs.Counter
+	redelivered  *obs.Counter
+	inflight     *obs.Gauge
+	ackedGauge   *obs.Gauge
+	rttSeconds   *obs.Histogram
+	redeliverAge *obs.Histogram
+}
+
+// NewShipper creates a shipper; Run starts it.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	cfg = cfg.withDefaults()
+	sh := &Shipper{cfg: cfg}
+	reg := cfg.Obs
+	l := obs.L("source", cfg.Source)
+	sh.reconnects = reg.Counter("netrepl_shipper_reconnects_total", l)
+	sh.retries = reg.Counter("netrepl_shipper_retries_total", l)
+	sh.batchesSent = reg.Counter("netrepl_shipper_batches_sent_total", l)
+	sh.opsSent = reg.Counter("netrepl_shipper_ops_sent_total", l)
+	sh.redelivered = reg.Counter("netrepl_shipper_redelivered_ops_total", l)
+	sh.inflight = reg.Gauge("netrepl_shipper_inflight_batches", l)
+	sh.ackedGauge = reg.Gauge("netrepl_shipper_acked_seq", l)
+	sh.rttSeconds = reg.Histogram("netrepl_shipper_rtt_seconds", obs.DurationBuckets, l)
+	sh.redeliverAge = reg.Histogram("netrepl_shipper_redelivery_seconds", obs.DurationBuckets, l)
+	return sh
+}
+
+// Acked returns the highest seq the server has acknowledged durable.
+func (sh *Shipper) Acked() uint64 { return sh.acked.Load() }
+
+// errReconnect distinguishes "tear this connection down and redial"
+// from fatal errors that should stop the shipper.
+var errReconnect = errors.New("netrepl: reconnect")
+
+// pendingBatch tracks one unacked DELTA.
+type pendingBatch struct {
+	lastSeq   uint64
+	sentAt    time.Time
+	firstSent time.Time // original send time, survives re-sends for the redelivery-age histogram
+}
+
+// Run ships until stop closes (graceful: a SHUTDOWN frame ends the
+// stream) or a fatal error occurs. Connection-level failures are not
+// fatal — they loop through backoff and resume.
+func (sh *Shipper) Run(stop <-chan struct{}) error {
+	b := retry.Backoff{P: sh.cfg.Retry}
+	// firstSend remembers each seq's first transmission so a re-send
+	// after reconnect can observe how stale the redelivery was.
+	firstSend := make(map[uint64]time.Time)
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		err := sh.runConn(stop, &b, firstSend)
+		switch {
+		case err == nil:
+			return nil // graceful stop
+		case errors.Is(err, errReconnect):
+			sh.retries.Inc()
+			d := b.Next()
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(d):
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// runConn runs one connection: dial, handshake, then the ship loop.
+// Returns nil only for a graceful stop; errReconnect for anything the
+// backoff loop should absorb.
+func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map[uint64]time.Time) error {
+	conn, err := sh.cfg.Dial()
+	if err != nil {
+		return errReconnect
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(sh.cfg.AckTimeout))
+	if err := WriteFrame(conn, FrameHello, 0, helloPayload(sh.cfg.Source)); err != nil {
+		return errReconnect
+	}
+	typ, _, payload, err := ReadFrame(conn)
+	if err != nil {
+		return errReconnect
+	}
+	switch typ {
+	case FrameWelcome:
+	case FrameBusy:
+		return errReconnect
+	case FrameReject:
+		return fmt.Errorf("netrepl: server rejected %s: %s", sh.cfg.Source, payload)
+	default:
+		return errReconnect
+	}
+	resume, err := parseSeq(payload)
+	if err != nil {
+		return errReconnect
+	}
+	// The server's durable seq is authoritative: it may be ahead of our
+	// last ack (the ACK frame was lost) — never behind it, because acks
+	// follow durability. Resume after it.
+	if resume > sh.acked.Load() {
+		sh.acked.Store(resume)
+		sh.ackedGauge.Set(int64(resume))
+	}
+	if sh.maxSent > resume {
+		// Everything between the server's durable seq and our previous
+		// send cursor is about to be sent again: at-least-once redelivery.
+		sh.redelivered.Add(sh.maxSent - resume)
+	}
+	sh.reconnects.Inc()
+	b.Reset()
+
+	cursor := resume // last seq handed to this connection
+	var pending []pendingBatch
+	sh.inflight.Set(0)
+	lastSent := time.Now()
+	lastRecv := time.Now()
+	stopping := false
+	for {
+		select {
+		case <-stop:
+			// Graceful drain: stop fetching, let the in-flight window
+			// empty (or time out), then end the stream with SHUTDOWN so
+			// the server sees a clean close.
+			stopping = true
+		default:
+		}
+		if stopping && (len(pending) == 0 || time.Since(pending[0].sentAt) > sh.cfg.AckTimeout) {
+			conn.SetWriteDeadline(time.Now().Add(sh.cfg.AckTimeout))
+			WriteFrame(conn, FrameShutdown, 0, nil)
+			return nil
+		}
+
+		// Fill the in-flight window from the op log.
+		stalled := stopping
+		for len(pending) < sh.cfg.Window && !stalled {
+			prev := cursor // the seq this batch chains onto
+			ops, err := sh.cfg.Fetch(cursor)
+			if err != nil {
+				return err
+			}
+			if len(ops) == 0 {
+				break
+			}
+			if len(ops) > sh.cfg.BatchOps {
+				ops = ops[:sh.cfg.BatchOps]
+			}
+			encOps := make([][]byte, len(ops))
+			for i, op := range ops {
+				var schema *catalog.Schema
+				if len(op.Before) > 0 {
+					if sh.cfg.SchemaOf == nil {
+						return fmt.Errorf("netrepl: op %d carries before images but shipper has no SchemaOf", op.Seq)
+					}
+					if schema, err = sh.cfg.SchemaOf(op.Table); err != nil {
+						return err
+					}
+				}
+				if encOps[i], err = op.Encode(nil, schema); err != nil {
+					return err
+				}
+			}
+			now := time.Now()
+			last := ops[len(ops)-1].Seq
+			pb := pendingBatch{lastSeq: last, sentAt: now, firstSent: now}
+			if first, ok := firstSend[last]; ok {
+				pb.firstSent = first
+				sh.redeliverAge.ObserveDuration(now.Sub(first))
+			} else {
+				firstSend[last] = now
+			}
+			conn.SetWriteDeadline(now.Add(sh.cfg.AckTimeout))
+			if err := WriteFrame(conn, FrameDelta, 0, deltaPayload(prev, encOps)); err != nil {
+				return errReconnect
+			}
+			lastSent = now
+			cursor = last
+			if last > sh.maxSent {
+				sh.maxSent = last
+			}
+			pending = append(pending, pb)
+			sh.inflight.Set(int64(len(pending)))
+			sh.batchesSent.Inc()
+			sh.opsSent.Add(uint64(len(ops)))
+			if len(ops) < sh.cfg.BatchOps {
+				stalled = true // drained the log; don't spin Fetch
+			}
+		}
+
+		// Idle liveness: probe with a heartbeat, and if nothing at all has
+		// arrived for an ack-timeout span, presume the connection dead.
+		now := time.Now()
+		if len(pending) == 0 && now.Sub(lastSent) > sh.cfg.HeartbeatEvery {
+			conn.SetWriteDeadline(now.Add(sh.cfg.AckTimeout))
+			if err := WriteFrame(conn, FrameHeartbeat, 0, nil); err != nil {
+				return errReconnect
+			}
+			lastSent = now
+		}
+		if len(pending) > 0 && now.Sub(pending[0].sentAt) > sh.cfg.AckTimeout {
+			// Oldest batch unacked too long: its DELTA or ACK was lost in
+			// flight. In-stream retransmit cannot be reconciled with the
+			// server's cursor, so reconnect and resume from the durable seq.
+			return errReconnect
+		}
+		if now.Sub(lastRecv) > 2*sh.cfg.AckTimeout {
+			return errReconnect
+		}
+
+		// Reap one frame (ack, heartbeat echo, server shutdown), bounded
+		// by the poll interval so the send path stays responsive.
+		conn.SetReadDeadline(now.Add(sh.cfg.PollEvery))
+		typ, _, payload, err := ReadFrame(conn)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				continue
+			}
+			return errReconnect
+		}
+		lastRecv = time.Now()
+		switch typ {
+		case FrameAck:
+			seq, err := parseSeq(payload)
+			if err != nil {
+				return errReconnect
+			}
+			if seq > sh.acked.Load() {
+				sh.acked.Store(seq)
+				sh.ackedGauge.Set(int64(seq))
+			}
+			for len(pending) > 0 && pending[0].lastSeq <= seq {
+				sh.rttSeconds.ObserveDuration(lastRecv.Sub(pending[0].sentAt))
+				delete(firstSend, pending[0].lastSeq)
+				pending = pending[1:]
+			}
+			sh.inflight.Set(int64(len(pending)))
+		case FrameHeartbeat:
+			// Echo received: lastRecv already refreshed.
+		case FrameBusy, FrameShutdown:
+			return errReconnect
+		default:
+			return errReconnect
+		}
+	}
+}

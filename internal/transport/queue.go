@@ -311,6 +311,41 @@ func (q *Queue) ReadPos() int64 { return q.readPos.Load() }
 // the consumer's backlog, also published as transport_queue_depth_bytes.
 func (q *Queue) Depth() int64 { return q.endPos.Load() - q.ackPos.Load() }
 
+// ForEach calls fn for every complete message in the queue, acked or
+// not, without moving the consumer cursor. A restarting replication
+// server uses it to rebuild per-source dedup state (highest seq ever
+// enqueued) from the topic file itself — the queue is the durable
+// record, so no side index can disagree with it. Iteration stops at
+// the first fn error, which is returned.
+func (q *Queue) ForEach(fn func(msg []byte) error) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	end := q.endPos.Load()
+	var hdr [8]byte
+	for pos := int64(0); pos < end; {
+		if _, err := q.data.ReadAt(hdr[:], pos); err != nil {
+			return err
+		}
+		l := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if pos+8+int64(l) > end {
+			return nil // torn tail, same stop rule as Next
+		}
+		msg := make([]byte, l)
+		if _, err := q.data.ReadAt(msg, pos+8); err != nil {
+			return err
+		}
+		if crc32.Checksum(msg, queueCRC) != want {
+			return fmt.Errorf("transport: corrupt message at offset %d", pos)
+		}
+		if err := fn(msg); err != nil {
+			return err
+		}
+		pos += 8 + int64(l)
+	}
+	return nil
+}
+
 // Reset rewinds the volatile cursor to the last durable Ack (what a
 // restarted consumer sees).
 func (q *Queue) Reset() {

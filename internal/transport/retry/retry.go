@@ -1,0 +1,124 @@
+// Package retry provides capped exponential backoff with jitter — the
+// reconnect/retransmit policy shared by every networked component of
+// the replication pipeline. The delay schedule is a pure function of
+// the attempt number, and both the sleep and the jitter source are
+// injectable, so tests drive a Backoff through hundreds of attempts
+// with a fake clock and assert the exact schedule without sleeping.
+package retry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy describes a backoff schedule: Base grows by Multiplier per
+// attempt up to Cap, then each delay's final Jitter fraction is
+// randomized uniformly (delay drawn from [d·(1-Jitter), d]). Jitter
+// decorrelates reconnect storms: after a warehouse restart every
+// shipper would otherwise retry on the same tick forever.
+type Policy struct {
+	// Base is the first delay. Default 50ms.
+	Base time.Duration
+	// Cap bounds the grown delay. Default 5s.
+	Cap time.Duration
+	// Multiplier is the per-attempt growth factor. Default 2.
+	Multiplier float64
+	// Jitter is the randomized fraction of each delay, in [0, 1].
+	// Default 0.5; a negative value selects no jitter.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	switch {
+	case p.Jitter == 0:
+		p.Jitter = 0.5
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the un-jittered delay for 0-based attempt n: Base
+// grown Multiplier-fold per attempt and clamped to Cap.
+func (p Policy) Delay(n int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	cap := float64(p.Cap)
+	for i := 0; i < n; i++ {
+		d *= p.Multiplier
+		if d >= cap {
+			return p.Cap
+		}
+	}
+	if d >= cap {
+		return p.Cap
+	}
+	return time.Duration(d)
+}
+
+// Backoff tracks consecutive failures and sleeps the policy's schedule.
+// The zero value (policy defaults, real clock, global jitter source) is
+// ready to use. Not safe for concurrent use: a Backoff belongs to one
+// retry loop.
+type Backoff struct {
+	// P is the schedule. Zero fields take the policy defaults.
+	P Policy
+	// Rand supplies jitter; nil uses the global source. Tests inject a
+	// seeded source for a deterministic schedule.
+	Rand *rand.Rand
+	// Sleep is the clock; nil means time.Sleep. Tests capture the
+	// requested durations instead of sleeping.
+	Sleep func(time.Duration)
+
+	attempt int
+}
+
+// Attempt returns the number of delays taken since the last Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset clears the failure count after a success, so the next failure
+// starts from Base again.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Next advances the failure count and returns the jittered delay for
+// this attempt without sleeping.
+func (b *Backoff) Next() time.Duration {
+	p := b.P.withDefaults()
+	d := p.Delay(b.attempt)
+	b.attempt++
+	if p.Jitter > 0 {
+		var u float64
+		if b.Rand != nil {
+			u = b.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		d = time.Duration(float64(d) * (1 - p.Jitter*u))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Wait sleeps the next delay and returns it.
+func (b *Backoff) Wait() time.Duration {
+	d := b.Next()
+	sleep := b.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
+	return d
+}

@@ -1,0 +1,98 @@
+package retry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelaySchedule pins the un-jittered growth curve: doubling from
+// Base, clamped at Cap, stable at Cap forever after.
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond, Multiplier: 2, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		160 * time.Millisecond,
+		160 * time.Millisecond,
+		160 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := p.Delay(n); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+	// A huge attempt count must not overflow past the cap.
+	if got := p.Delay(10_000); got != p.Cap {
+		t.Errorf("Delay(10000) = %v, want cap %v", got, p.Cap)
+	}
+}
+
+// TestBackoffFakeClock drives a Backoff entirely on a fake clock: no
+// real sleeping, every requested delay recorded and checked against the
+// policy's envelope.
+func TestBackoffFakeClock(t *testing.T) {
+	var slept []time.Duration
+	b := &Backoff{
+		P:     Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Multiplier: 2, Jitter: 0.5},
+		Rand:  rand.New(rand.NewSource(7)),
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	start := time.Now()
+	for i := 0; i < 64; i++ {
+		b.Wait()
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("fake-clock test actually slept (%v elapsed)", elapsed)
+	}
+	if len(slept) != 64 {
+		t.Fatalf("recorded %d sleeps, want 64", len(slept))
+	}
+	for i, d := range slept {
+		full := b.P.Delay(i)
+		lo := time.Duration(float64(full) * 0.5)
+		if d < lo || d > full {
+			t.Errorf("attempt %d slept %v, want within [%v, %v]", i, d, lo, full)
+		}
+	}
+	if b.Attempt() != 64 {
+		t.Errorf("Attempt() = %d, want 64", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Errorf("Attempt() after Reset = %d, want 0", b.Attempt())
+	}
+	if d := b.Next(); d > b.P.Delay(0) {
+		t.Errorf("post-Reset delay %v exceeds base envelope %v", d, b.P.Delay(0))
+	}
+}
+
+// TestBackoffDeterministic: equal seeds produce the identical jittered
+// schedule — the property the seeded soak harnesses rely on.
+func TestBackoffDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		b := &Backoff{Rand: rand.New(rand.NewSource(42)), Sleep: func(time.Duration) {}}
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, bb := run(), run()
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("schedule diverged at %d: %v vs %v", i, a[i], bb[i])
+		}
+	}
+}
+
+// TestZeroValue: the zero Backoff sleeps sane defaulted delays.
+func TestZeroValue(t *testing.T) {
+	b := &Backoff{Sleep: func(time.Duration) {}}
+	d := b.Next()
+	if d <= 0 || d > 50*time.Millisecond {
+		t.Errorf("zero-value first delay = %v, want (0, 50ms]", d)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -166,5 +167,111 @@ func TestShipFile(t *testing.T) {
 	}
 	if virt == 0 {
 		t.Fatal("link not charged")
+	}
+}
+
+// TestLinkConcurrentSenders hammers one Link from many goroutines with
+// an injected (also concurrent) sleep and checks the counters account
+// for every byte and every virtual nanosecond exactly. Run under
+// -race in CI, this is the latency/bandwidth model's thread-safety
+// proof.
+func TestLinkConcurrentSenders(t *testing.T) {
+	var mu sync.Mutex
+	var virtual time.Duration
+	l := &Link{
+		Latency:      time.Millisecond,
+		BandwidthBps: 1_000_000,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			virtual += d
+			mu.Unlock()
+		},
+	}
+	const (
+		senders = 16
+		sends   = 200
+		size    = 1000 // 1ms transfer at 1 MB/s
+	)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sends; i++ {
+				l.Send(size)
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Messages != senders*sends {
+		t.Errorf("Messages = %d, want %d", st.Messages, senders*sends)
+	}
+	if st.BytesSent != senders*sends*size {
+		t.Errorf("BytesSent = %d, want %d", st.BytesSent, senders*sends*size)
+	}
+	per := l.cost(size)
+	if want := time.Duration(senders*sends) * per; st.TimeCharged != want {
+		t.Errorf("TimeCharged = %v, want %v", st.TimeCharged, want)
+	}
+	if virtual != st.TimeCharged {
+		t.Errorf("slept %v, charged %v — Sleep calls and counters disagree", virtual, st.TimeCharged)
+	}
+}
+
+// TestQueueForEach: ForEach scans every complete frame — acked,
+// consumed, and unconsumed alike — without moving the cursor.
+func TestQueueForEach(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for i := 0; i < 7; i++ {
+		if err := q.Append([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consume and ack a prefix; ForEach must still see it.
+	for i := 0; i < 3; i++ {
+		q.Next()
+	}
+	if err := q.Ack(); err != nil {
+		t.Fatal(err)
+	}
+	cursor := q.ReadPos()
+	var got []string
+	if err := q.ForEach(func(m []byte) error {
+		got = append(got, string(m))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("ForEach saw %d messages, want 7: %v", len(got), got)
+	}
+	for i, m := range got {
+		if want := fmt.Sprintf("m%d", i); m != want {
+			t.Errorf("message %d = %q, want %q", i, m, want)
+		}
+	}
+	if q.ReadPos() != cursor {
+		t.Errorf("ForEach moved the cursor: %d -> %d", cursor, q.ReadPos())
+	}
+	// A fn error stops the scan and propagates.
+	stop := errors.New("stop")
+	n := 0
+	if err := q.ForEach(func([]byte) error {
+		n++
+		if n == 2 {
+			return stop
+		}
+		return nil
+	}); !errors.Is(err, stop) {
+		t.Fatalf("ForEach error = %v, want stop", err)
+	}
+	if n != 2 {
+		t.Fatalf("fn ran %d times after error, want 2", n)
 	}
 }

@@ -215,6 +215,7 @@ type LockManager struct {
 	reg                     *obs.Registry
 	labels                  []obs.Label
 	waits, grants, timeouts *obs.Counter
+	cycleTimeouts           *obs.Counter
 }
 
 // tableLockMetrics are one table's registry-backed counters, resolved
@@ -377,6 +378,9 @@ func NewLockManagerObs(timeout time.Duration, reg *obs.Registry, labels ...obs.L
 		waits:    reg.Counter("txn_lock_waits_total", labels...),
 		grants:   reg.Counter("txn_lock_grants_total", labels...),
 		timeouts: reg.Counter("txn_lock_timeouts_total", labels...),
+		// Timeouts that resolved an actual waits-for cycle (see waitfor.go)
+		// rather than firing on plain contention.
+		cycleTimeouts: reg.Counter("txn_lock_timeout_cycles_total", labels...),
 	}
 	lm.cond = sync.NewCond(&lm.mu)
 	return lm
@@ -458,7 +462,7 @@ func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, d
 			lm.waits.Inc()
 		}
 		if !lm.waitUntilLocked(deadline) {
-			lm.timeouts.Inc()
+			lm.noteTimeoutLocked(tx)
 			return fmt.Errorf("%w: txn %d wants %s on %q", ErrLockTimeout, tx, mode, tl.name)
 		}
 	}
@@ -583,7 +587,7 @@ func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r
 			lm.waits.Inc()
 		}
 		if !lm.waitUntilLocked(deadline) {
-			lm.timeouts.Inc()
+			lm.noteTimeoutLocked(tx)
 			return fmt.Errorf("%w: txn %d wants %s on %q range %s", ErrLockTimeout, tx, mode, tl.name, r)
 		}
 	}
@@ -695,14 +699,22 @@ func (lm *LockManager) HoldingRange(tx ID, table string, r keyset.KeyRange) Lock
 	return best
 }
 
-// LockStats is a snapshot of manager-wide lock counters.
+// LockStats is a snapshot of manager-wide lock counters. CycleTimeouts
+// counts the subset of Timeouts where the timed-out transaction sat on
+// a waits-for cycle — a deadlock resolved by deadline — as opposed to
+// timing out under plain contention.
 type LockStats struct {
-	Waits, Grants, Timeouts uint64
+	Waits, Grants, Timeouts, CycleTimeouts uint64
 }
 
 // Stats returns manager-wide lock counters.
 func (lm *LockManager) Stats() LockStats {
-	return LockStats{Waits: lm.waits.Value(), Grants: lm.grants.Value(), Timeouts: lm.timeouts.Value()}
+	return LockStats{
+		Waits:         lm.waits.Value(),
+		Grants:        lm.grants.Value(),
+		Timeouts:      lm.timeouts.Value(),
+		CycleTimeouts: lm.cycleTimeouts.Value(),
+	}
 }
 
 // TableStats snapshots the per-table counters for every table the

@@ -1,0 +1,101 @@
+package txn
+
+// Wait-for-graph analysis, run when a lock wait times out. The manager
+// resolves deadlocks by deadline (ErrLockTimeout), which also fires on
+// plain contention — a long reader, a slow commit. Distinguishing the
+// two matters operationally: cycle timeouts mean the workload's lock
+// order needs attention, contention timeouts mean the timeout is too
+// tight or a transaction too long. The detector reconstructs the
+// waits-for edges from the live queue and holder state — it is an
+// accounting stub, not a preemptive detector: it never aborts anything,
+// it only classifies a timeout that already happened.
+
+// blockersLocked collects the transactions that prevent waiter w from
+// being granted on tl right now: conflicting holders (table modes, and
+// overlapping ranges for range requests) plus earlier queued waiters w
+// may not fairly bypass. Callers hold lm.mu.
+func (lm *LockManager) blockersLocked(tl *tableLock, w waiter, out map[ID]struct{}) {
+	if w.isRange {
+		for holder, hmode := range tl.holders {
+			if holder != w.tx && !Compatible(intentFor(w.mode), hmode) {
+				out[holder] = struct{}{}
+			}
+		}
+		tl.ranges.overlapping(w.r, func(n *rangeNode) bool {
+			if n.tx != w.tx && (n.mode == Exclusive || w.mode == Exclusive) {
+				out[n.tx] = struct{}{}
+			}
+			return true
+		})
+	} else {
+		for holder, hmode := range tl.holders {
+			if holder != w.tx && !Compatible(w.mode, hmode) {
+				out[holder] = struct{}{}
+			}
+		}
+	}
+	// FIFO edges: an earlier conflicting waiter must be granted (and
+	// eventually release) before w, so w transitively waits on it.
+	for _, earlier := range tl.queue {
+		if earlier.seq >= w.seq || earlier.tx == w.tx {
+			continue
+		}
+		if wouldConflict(earlier, w) && !tl.blockedByLocked(w.tx, earlier) {
+			out[earlier.tx] = struct{}{}
+		}
+	}
+}
+
+// waitsForLocked returns every transaction tx is waiting on, across all
+// of tx's queued requests on all tables. A transaction with no queued
+// request has no outgoing edges. Callers hold lm.mu.
+func (lm *LockManager) waitsForLocked(tx ID) map[ID]struct{} {
+	out := make(map[ID]struct{})
+	for _, tl := range lm.tables {
+		for _, w := range tl.queue {
+			if w.tx == tx {
+				lm.blockersLocked(tl, w, out)
+			}
+		}
+	}
+	return out
+}
+
+// inCycleLocked reports whether start participates in a waits-for
+// cycle: some chain of blocked transactions leads from start's blockers
+// back to start. The timed-out request is still queued when this runs
+// (its waiter is removed on the way out of the acquire), so start's own
+// edges are visible. Callers hold lm.mu.
+func (lm *LockManager) inCycleLocked(start ID) bool {
+	visited := make(map[ID]bool)
+	stack := make([]ID, 0, 8)
+	for b := range lm.waitsForLocked(start) {
+		stack = append(stack, b)
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t == start {
+			return true
+		}
+		if visited[t] {
+			continue
+		}
+		visited[t] = true
+		for b := range lm.waitsForLocked(t) {
+			stack = append(stack, b)
+		}
+	}
+	return false
+}
+
+// noteTimeoutLocked classifies a just-fired lock timeout: if the
+// timed-out transaction sat on a waits-for cycle, the timeout resolved
+// a deadlock and txn_lock_timeout_cycles_total counts it. Callers hold
+// lm.mu at the timeout site.
+func (lm *LockManager) noteTimeoutLocked(tx ID) {
+	lm.timeouts.Inc()
+	if lm.inCycleLocked(tx) {
+		lm.cycleTimeouts.Inc()
+	}
+}

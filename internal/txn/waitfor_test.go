@@ -1,0 +1,102 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"opdelta/internal/obs"
+)
+
+// TestCycleTimeoutCountsRangeDeadlock builds a genuine two-transaction
+// range deadlock and checks the timeout that resolves it is classified
+// as a cycle, both in LockStats and on the obs registry.
+func TestCycleTimeoutCountsRangeDeadlock(t *testing.T) {
+	reg := obs.NewRegistry()
+	lm := NewLockManagerObs(150*time.Millisecond, reg)
+	if err := xRanges(lm, 1, kr(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := xRanges(lm, 2, kr(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// Cross requests: 1 wants 2's range, 2 wants 1's. Neither can ever
+	// be granted; the deadline must break the cycle.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = xRanges(lm, 1, kr(5, 6)) }()
+	go func() { defer wg.Done(); errs[1] = xRanges(lm, 2, kr(1, 2)) }()
+	wg.Wait()
+	if !errors.Is(errs[0], ErrLockTimeout) && !errors.Is(errs[1], ErrLockTimeout) {
+		t.Fatalf("no timeout from a hard deadlock: %v, %v", errs[0], errs[1])
+	}
+	st := lm.Stats()
+	if st.CycleTimeouts < 1 {
+		t.Fatalf("CycleTimeouts = %d, want >= 1 (stats: %+v)", st.CycleTimeouts, st)
+	}
+	if st.CycleTimeouts > st.Timeouts {
+		t.Fatalf("CycleTimeouts %d exceeds Timeouts %d", st.CycleTimeouts, st.Timeouts)
+	}
+	if m := reg.Snapshot().Get("txn_lock_timeout_cycles_total"); m == nil || m.Value < 1 {
+		t.Fatalf("txn_lock_timeout_cycles_total missing or zero on the registry: %+v", m)
+	}
+}
+
+// TestCycleTimeoutCountsCrossTableDeadlock deadlocks two transactions
+// across two tables at table granularity, exercising the cross-table
+// edge walk.
+func TestCycleTimeoutCountsCrossTableDeadlock(t *testing.T) {
+	lm := NewLockManager(150 * time.Millisecond)
+	if err := lm.Acquire(1, "a", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "b", Shared); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = lm.Acquire(1, "b", Exclusive) }()
+	go func() { defer wg.Done(); errs[1] = lm.Acquire(2, "a", Exclusive) }()
+	wg.Wait()
+	if !errors.Is(errs[0], ErrLockTimeout) && !errors.Is(errs[1], ErrLockTimeout) {
+		t.Fatalf("no timeout from a cross-table deadlock: %v, %v", errs[0], errs[1])
+	}
+	if st := lm.Stats(); st.CycleTimeouts < 1 {
+		t.Fatalf("CycleTimeouts = %d, want >= 1 (stats: %+v)", st.CycleTimeouts, st)
+	}
+}
+
+// TestContentionTimeoutIsNotACycle times out behind a holder that is
+// not itself waiting on anything: plain contention, which must bump
+// Timeouts but never CycleTimeouts.
+func TestContentionTimeoutIsNotACycle(t *testing.T) {
+	lm := NewLockManager(100 * time.Millisecond)
+	if err := lm.Acquire(1, "t", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "t", Exclusive); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("want timeout behind an idle X holder, got %v", err)
+	}
+	st := lm.Stats()
+	if st.Timeouts < 1 {
+		t.Fatalf("Timeouts = %d, want >= 1", st.Timeouts)
+	}
+	if st.CycleTimeouts != 0 {
+		t.Fatalf("CycleTimeouts = %d on plain contention, want 0", st.CycleTimeouts)
+	}
+
+	// Same story for a range wait blocked by an idle range holder.
+	lm2 := NewLockManager(100 * time.Millisecond)
+	if err := xRanges(lm2, 1, kr(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := xRanges(lm2, 2, kr(5, 6)); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("want timeout behind an idle range holder, got %v", err)
+	}
+	if st := lm2.Stats(); st.CycleTimeouts != 0 {
+		t.Fatalf("CycleTimeouts = %d on range contention, want 0", st.CycleTimeouts)
+	}
+}

@@ -1,0 +1,103 @@
+package warehouse
+
+import (
+	"testing"
+
+	"opdelta/internal/wal"
+)
+
+// TestAppliedLogExactlyOnce: with an AppliedLog, redelivering ops —
+// exact replays and partially overlapping batches alike — leaves the
+// warehouse byte-identical to applying the stream exactly once. This is
+// the idempotence the wire protocol's at-least-once delivery rests on.
+func TestAppliedLogExactlyOnce(t *testing.T) {
+	ops := randomOpWorkload(t, 11, 30)
+	if len(ops) < 9 {
+		t.Fatalf("workload too small: %d ops", len(ops))
+	}
+	tables := []string{"parts", "v_low", "agg_status"}
+
+	// Reference: plain exactly-once apply, no dedup involved.
+	ref := equivWarehouse(t, wal.SyncFlush, false)
+	if _, err := (&ParallelIntegrator{W: ref, Workers: 4}).Apply(ops); err != nil {
+		t.Fatalf("reference apply: %v", err)
+	}
+
+	// Dedup warehouse: overlapping batches with a full replay at the end.
+	w := equivWarehouse(t, wal.SyncFlush, false)
+	al, err := EnsureAppliedLog(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &ParallelIntegrator{W: w, Workers: 4, Applied: al}
+	third := len(ops) / 3
+	batches := [][]int{
+		{0, 2 * third},        // first delivery
+		{third, len(ops)},     // redelivery overlapping the tail
+		{0, len(ops)},         // full replay (reconnect from seq 0)
+		{2 * third, len(ops)}, // replay of an already-complete suffix
+	}
+	for i, b := range batches {
+		if _, err := in.Apply(ops[b[0]:b[1]]); err != nil {
+			t.Fatalf("batch %d apply: %v", i, err)
+		}
+	}
+	for _, name := range tables {
+		a, b := tableImage(t, ref.DB, name), tableImage(t, w.DB, name)
+		if len(a) != len(b) {
+			t.Fatalf("%s: row count %d (once) vs %d (redelivered)", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s row %d differs:\n once        %s\n redelivered %s", name, i, a[i], b[i])
+			}
+		}
+	}
+	if got := in.metrics().skippedDup.Value(); got == 0 {
+		t.Fatal("no duplicate ops skipped despite overlapping redeliveries")
+	}
+	maxSeq, err := al.MaxSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ops[len(ops)-1].Seq; maxSeq != want {
+		t.Fatalf("MaxSeq = %d, want %d", maxSeq, want)
+	}
+}
+
+// TestAppliedLogHighWatermarkGap documents why the dedup is per-op
+// rather than a high-watermark: out-of-order group commits leave seq
+// gaps below the max. A restart resuming from MaxSeq would lose the
+// gap; the per-op Seen check recovers it.
+func TestAppliedLogHighWatermarkGap(t *testing.T) {
+	ops := randomOpWorkload(t, 3, 12)
+	w := equivWarehouse(t, wal.SyncFlush, false)
+	al, err := EnsureAppliedLog(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &ParallelIntegrator{W: w, Workers: 4, Applied: al}
+	// Deliver a suffix first — as if an earlier prefix group had not
+	// committed when the stream cut out.
+	cut := len(ops) / 2
+	if _, err := in.Apply(ops[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	maxSeq, err := al.MaxSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq < ops[len(ops)-1].Seq {
+		t.Fatalf("suffix apply: MaxSeq = %d", maxSeq)
+	}
+	// A watermark resume would now skip ops[:cut] entirely. Per-op dedup
+	// applies exactly the missing prefix on the full replay.
+	before := in.metrics().skippedDup.Value()
+	if _, err := in.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	skipped := in.metrics().skippedDup.Value() - before
+	if want := uint64(len(ops) - cut); skipped != want {
+		t.Fatalf("full replay skipped %d ops, want exactly the already-applied %d", skipped, want)
+	}
+}

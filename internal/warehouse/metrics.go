@@ -19,6 +19,10 @@ type applyMetrics struct {
 	// window one source transaction costs.
 	txnSeconds *obs.Histogram
 
+	// skippedDup counts ops recognized as already applied (at-least-once
+	// redelivery) and skipped by the AppliedLog dedup.
+	skippedDup *obs.Counter
+
 	// Degradation events: the scheduler giving up precision.
 	// degradedUniversal counts groups that fell back to
 	// conflicts-with-everything (unparseable op / unbounded key set);
@@ -36,6 +40,7 @@ func newApplyMetrics(reg *obs.Registry, integrator string) *applyMetrics {
 		records:            reg.Counter("warehouse_apply_records_total", l),
 		statements:         reg.Counter("warehouse_apply_statements_total", l),
 		txnSeconds:         reg.Histogram("warehouse_apply_txn_seconds", obs.DurationBuckets, l),
+		skippedDup:         reg.Counter("warehouse_apply_skipped_duplicate_total", l),
 		degradedUniversal:  reg.Counter("warehouse_degraded_universal_total", l),
 		degradedWholeTable: reg.Counter("warehouse_degraded_whole_table_total", l),
 	}

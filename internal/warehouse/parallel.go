@@ -42,6 +42,13 @@ type ParallelIntegrator struct {
 	// serialize their apply phases. Benchmarks use it as the baseline
 	// against key-range locking, and the equivalence sweep runs both.
 	TableLocks bool
+	// Applied, when set, makes Apply idempotent under at-least-once
+	// redelivery: ops recorded in the AppliedLog are skipped, and each
+	// group's survivors are recorded inside the group's own warehouse
+	// transaction — effects and dedup row commit or roll back together.
+	// The dedup rows take point range locks pre-declared with the rest
+	// of the plan, so the deadlock-freedom argument is unchanged.
+	Applied *AppliedLog
 
 	mOnce sync.Once
 	m     *applyMetrics
@@ -184,6 +191,15 @@ func (in *ParallelIntegrator) analyze(ops []*opdelta.Op) *txnGroup {
 		}
 		g.ranged[t] = keyset.MergeRanges(fp.Ranges)
 	}
+	if in.Applied != nil {
+		// The group's dedup rows are part of its write set: lock their
+		// points alongside the data plan (whole-table when the group
+		// already degraded to that).
+		g.lockOrder = append(g.lockOrder, AppliedLogName)
+		if !in.TableLocks && !g.universal {
+			g.ranged[AppliedLogName] = in.Applied.ranges(ops)
+		}
+	}
 	sort.Strings(g.lockOrder)
 	m := in.metrics()
 	if g.universal {
@@ -300,8 +316,28 @@ func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 		for _, op := range g.ops {
 			op.Trace.Locked()
 		}
+		// Under at-least-once delivery a replayed op arrives with its
+		// dedup row already committed; skip it (but still finish its
+		// trace, so freshness tracking sees the redelivery resolve).
+		live := g.ops
+		if in.Applied != nil {
+			live = live[:0:0]
+			for _, op := range g.ops {
+				seen, serr := in.Applied.Seen(tx, op.Seq)
+				if serr != nil {
+					tx.Abort()
+					return serr
+				}
+				if seen {
+					m.skippedDup.Inc()
+					op.Trace.Applied()
+					continue
+				}
+				live = append(live, op)
+			}
+		}
 		recs, stmts := 0, 0
-		for _, op := range g.ops {
+		for _, op := range live {
 			c, aerr := ser.applyOne(tx, op)
 			stmts += c
 			if aerr != nil {
@@ -310,6 +346,12 @@ func (in *ParallelIntegrator) Apply(ops []*opdelta.Op) (ApplyStats, error) {
 			}
 			op.Trace.Applied()
 			recs++
+		}
+		if in.Applied != nil {
+			if rerr := in.Applied.Record(tx, live); rerr != nil {
+				tx.Abort()
+				return rerr
+			}
 		}
 		committing = true
 		if cerr := tx.Commit(); cerr != nil {
