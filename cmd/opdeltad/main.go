@@ -57,21 +57,24 @@ import (
 
 func main() {
 	var (
-		srcDir  = flag.String("src", "", "source database directory (required)")
-		outDir  = flag.String("out", "", "output directory for delta files and cursors (required)")
-		table   = flag.String("table", "parts", "source table to extract from")
-		method  = flag.String("method", "timestamp", "timestamp|trigger|log|snapshot|opdelta")
-		watch   = flag.Duration("watch", 0, "re-extract on this interval (0 = one pass)")
-		window  = flag.Int("window", 0, "snapshot method: window rows (0 = exact sort-merge)")
-		archive = flag.Bool("archive", false, "log method: mine the archive directory instead of the live WAL")
-		metrics = flag.String("metrics", "", "serve /metrics and /debug/deltaz on this address (port 0 picks a free port)")
-		live    = flag.Bool("live", false, "run the live capture->queue->warehouse pipeline under -out instead of extraction passes")
-		loadgen = flag.Int("loadgen", 200, "live/ship mode: source statements per second")
-		runFor  = flag.Duration("duration", 0, "live/serve/ship mode: stop after this long (0 = run until interrupted)")
-		serve   = flag.Bool("serve", false, "run the replication server: accept shippers on -listen, apply under -out")
-		listen  = flag.String("listen", "127.0.0.1:0", "serve mode: replication listen address")
-		ship    = flag.String("ship", "", "run a replication shipper against this server address, capturing under -src")
-		source  = flag.String("source", "src-1", "ship mode: source id announced to the server")
+		srcDir     = flag.String("src", "", "source database directory (required)")
+		outDir     = flag.String("out", "", "output directory for delta files and cursors (required)")
+		table      = flag.String("table", "parts", "source table to extract from")
+		method     = flag.String("method", "timestamp", "timestamp|trigger|log|snapshot|opdelta")
+		watch      = flag.Duration("watch", 0, "re-extract on this interval (0 = one pass)")
+		window     = flag.Int("window", 0, "snapshot method: window rows (0 = exact sort-merge)")
+		archive    = flag.Bool("archive", false, "log method: mine the archive directory instead of the live WAL")
+		metrics    = flag.String("metrics", "", "serve /metrics and /debug/deltaz on this address (port 0 picks a free port)")
+		live       = flag.Bool("live", false, "run the live capture->queue->warehouse pipeline under -out instead of extraction passes")
+		loadgen    = flag.Int("loadgen", 200, "live/ship mode: source statements per second")
+		runFor     = flag.Duration("duration", 0, "live/serve/ship mode: stop after this long (0 = run until interrupted)")
+		serve      = flag.Bool("serve", false, "run the replication server: accept shippers on -listen, apply under -out")
+		listen     = flag.String("listen", "127.0.0.1:0", "serve mode: replication listen address")
+		ship       = flag.String("ship", "", "run a replication shipper against this server address, capturing under -src")
+		source     = flag.String("source", "src-1", "ship mode: source id announced to the server")
+		truncLog   = flag.Bool("truncatelog", false, "ship mode: truncate the op log at its head on startup, forcing a fresh replica to snapshot-bootstrap")
+		chunkRows  = flag.Int("chunkrows", 128, "ship mode: rows per snapshot bootstrap chunk")
+		chunkDelay = flag.Duration("chunkdelay", 0, "ship mode: pause between snapshot bootstrap chunks (paces bootstrap against live traffic)")
 	)
 	flag.Parse()
 	if *serve {
@@ -89,7 +92,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		if err := runShip(*ship, *srcDir, *source, *metrics, *loadgen, *runFor); err != nil {
+		if err := runShip(*ship, *srcDir, *source, *metrics, *loadgen, *chunkRows, *chunkDelay, *truncLog, *runFor); err != nil {
 			fatal(err)
 		}
 		return

@@ -51,9 +51,79 @@ func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration) er
 	}
 	fmt.Printf("opdeltad: replication server listening on %s\n", lis.Addr())
 
+	// Per-source state is created lazily and shared by two consumers
+	// with different triggers: the server's Bootstrap callback needs the
+	// bootstrapper when a bare replica's HELLO lands (before any applier
+	// exists), and the applier manager needs the same warehouse and
+	// bootstrapper when the topic appears. Whichever fires first builds
+	// the state; the other reuses it.
+	type sourceState struct {
+		db       *engine.DB
+		integ    *warehouse.ParallelIntegrator
+		boot     *netrepl.Bootstrapper
+		applying bool
+	}
+	states := make(map[string]*sourceState)
+	var statesMu sync.Mutex
+	ensureState := func(source string) (*sourceState, error) {
+		statesMu.Lock()
+		defer statesMu.Unlock()
+		if st, ok := states[source]; ok {
+			return st, nil
+		}
+		db, err := engine.Open(filepath.Join(outDir, "wh-"+source),
+			engine.Options{Obs: reg, ObsDB: "wh-" + source, WALSync: wal.SyncFull})
+		if err != nil {
+			return nil, err
+		}
+		w := warehouse.New(db)
+		if _, err := db.Table("parts"); err != nil {
+			const ddl = `CREATE TABLE parts (
+				part_id BIGINT NOT NULL, status VARCHAR, qty BIGINT, last_modified TIMESTAMP
+			) PRIMARY KEY (part_id) TIMESTAMP COLUMN (last_modified)`
+			if _, err := db.Exec(nil, ddl); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		tbl, err := db.Table("parts")
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := w.RegisterReplica("parts", tbl.Schema, "part_id", "last_modified"); err != nil {
+			db.Close()
+			return nil, err
+		}
+		applied, err := warehouse.EnsureAppliedLog(w)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		blog, err := warehouse.EnsureBootstrapLog(w)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		st := &sourceState{
+			db:    db,
+			integ: &warehouse.ParallelIntegrator{W: w, Workers: 4, Applied: applied},
+			boot:  &netrepl.Bootstrapper{Log: blog, Applied: applied, Source: source, Obs: reg},
+		}
+		states[source] = st
+		return st, nil
+	}
+
 	srv := netrepl.NewServer(netrepl.ServerConfig{
 		Dir: filepath.Join(outDir, "topics"),
 		Obs: reg,
+		Bootstrap: func(source string) (*netrepl.Bootstrapper, error) {
+			st, err := ensureState(source)
+			if err != nil {
+				return nil, err
+			}
+			return st.boot, nil
+		},
 	})
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(lis) }()
@@ -71,50 +141,28 @@ func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration) er
 	}
 
 	// Applier manager: every new source that opens a topic gets its own
-	// warehouse and applier goroutine.
-	type sourceState struct {
-		db *engine.DB
-	}
-	states := make(map[string]*sourceState)
-	var statesMu sync.Mutex
+	// warehouse and applier goroutine, wired to the source's
+	// bootstrapper so snapshot chunks settle on the apply loop.
 	startApplier := func(source string) error {
+		st, err := ensureState(source)
+		if err != nil {
+			return err
+		}
+		statesMu.Lock()
+		if st.applying {
+			statesMu.Unlock()
+			return nil
+		}
+		st.applying = true
+		statesMu.Unlock()
 		topic, err := srv.Topic(source)
 		if err != nil {
 			return err
 		}
-		db, err := engine.Open(filepath.Join(outDir, "wh-"+source),
-			engine.Options{Obs: reg, ObsDB: "wh-" + source, WALSync: wal.SyncFull})
-		if err != nil {
-			return err
-		}
-		w := warehouse.New(db)
-		if _, err := db.Table("parts"); err != nil {
-			const ddl = `CREATE TABLE parts (
-				part_id BIGINT NOT NULL, status VARCHAR, qty BIGINT, last_modified TIMESTAMP
-			) PRIMARY KEY (part_id) TIMESTAMP COLUMN (last_modified)`
-			if _, err := db.Exec(nil, ddl); err != nil {
-				db.Close()
-				return err
-			}
-		}
-		tbl, err := db.Table("parts")
-		if err != nil {
-			db.Close()
-			return err
-		}
-		if err := w.RegisterReplica("parts", tbl.Schema, "part_id", "last_modified"); err != nil {
-			db.Close()
-			return err
-		}
-		applied, err := warehouse.EnsureAppliedLog(w)
-		if err != nil {
-			db.Close()
-			return err
-		}
-		integ := &warehouse.ParallelIntegrator{W: w, Workers: 4, Applied: applied}
+		db := st.db
 		ap := &netrepl.Applier{
 			Topic:      topic,
-			Integrator: integ,
+			Integrator: st.integ,
 			SchemaOf: func(table string) (*catalog.Schema, error) {
 				t, err := db.Table(table)
 				if err != nil {
@@ -122,12 +170,10 @@ func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration) er
 				}
 				return t.Schema, nil
 			},
-			Tracer: tracer,
-			Obs:    reg,
+			Bootstrap: st.boot,
+			Tracer:    tracer,
+			Obs:       reg,
 		}
-		statesMu.Lock()
-		states[source] = &sourceState{db: db}
-		statesMu.Unlock()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -164,9 +210,10 @@ func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration) er
 			}
 			for _, source := range srv.Sources() {
 				statesMu.Lock()
-				_, known := states[source]
+				st, known := states[source]
+				running := known && st.applying
 				statesMu.Unlock()
-				if !known {
+				if !running {
 					if err := startApplier(source); err != nil {
 						fail(err)
 						return

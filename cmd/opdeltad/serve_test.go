@@ -15,6 +15,7 @@ import (
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
+	"opdelta/internal/keyset"
 	"opdelta/internal/obs"
 	"opdelta/internal/opdelta"
 	"opdelta/internal/warehouse"
@@ -486,4 +487,230 @@ func TestServeShipKill9Resume(t *testing.T) {
 	}
 	srv.drain(15 * time.Second)
 	verifyReplica(t, srcDir, filepath.Join(outDir, "wh-src-a"), acked)
+}
+
+// partsByPK reads the parts table as part_id -> non-timestamp column
+// values, for source/replica comparison keyed by integer PK.
+func partsByPK(t *testing.T, db *engine.DB) map[int64]string {
+	t.Helper()
+	tbl, err := db.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkIdx, _ := tbl.Schema.ColIndex("part_id")
+	tsIdx, _ := tbl.Schema.ColIndex("last_modified")
+	rows := make(map[int64]string)
+	if err := db.ScanTable(nil, "parts", func(row catalog.Tuple) error {
+		cols := make([]string, 0, len(row))
+		for i, v := range row {
+			if i == tsIdx {
+				continue
+			}
+			cols = append(cols, fmt.Sprint(v))
+		}
+		rows[row[pkIdx].Int()] = strings.Join(cols, "|")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestServeBootstrapKill9Resume is the bootstrap resume scenario: a
+// shipper whose op log was truncated at its head forces a fresh replica
+// through snapshot bootstrap; the server (the replica side) is killed
+// -9 mid-bootstrap, and its restart must resume from the durable
+// BootstrapLog — completing the run without re-fetching finished chunks
+// (visible as the restarted server's netrepl_bootstrap_chunks_total
+// staying well below the table's full chunk count) — and end with the
+// replica matching the live source.
+func TestServeBootstrapKill9Resume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns daemon binaries")
+	}
+	bin := buildDaemon(t)
+	work := t.TempDir()
+	srcDir := filepath.Join(work, "src")
+	outDir := filepath.Join(work, "out")
+
+	startServer := func(out, listen string) (*proc, string, string) {
+		p := startProc(t, "serve", bin, "-serve", "-out", out,
+			"-listen", listen, "-metrics", "127.0.0.1:0", "-duration", "2m")
+		metrics := p.metricsURL()
+		line := p.expectLine("listening on", 10*time.Second)
+		return p, metrics, line[strings.Index(line, "listening on ")+len("listening on "):]
+	}
+
+	// Phase 0: build real source history against a throwaway replica, so
+	// the truncated log leaves state only a snapshot can recover.
+	srv0, m0, addr0 := startServer(filepath.Join(work, "out0"), "127.0.0.1:0")
+	ship0 := startProc(t, "ship0", bin, "-ship", addr0, "-src", srcDir,
+		"-source", "src-a", "-loadgen", "500", "-duration", "2m")
+	waitMetric(t, m0, `netrepl_server_last_seq{source="src-a"}`,
+		func(v float64) bool { return v >= 150 }, 20*time.Second)
+	ship0.drain(15 * time.Second)
+	srv0.drain(15 * time.Second)
+
+	// Phase 1: fresh replica; the truncated log forces ModeBootstrap.
+	// One-row chunks paced 20ms apart keep the bootstrap window long
+	// enough to kill into, with the live workload trickling on.
+	srv1, m1, addr := startServer(outDir, "127.0.0.1:0")
+	ship := startProc(t, "ship", bin, "-ship", addr, "-src", srcDir, "-source", "src-a",
+		"-truncatelog", "-chunkrows", "1", "-chunkdelay", "20ms", "-loadgen", "1", "-duration", "2m")
+	ship.expectLine("op log truncated", 10*time.Second)
+	chunksName := `netrepl_bootstrap_chunks_total{source="src-a"}`
+	waitMetric(t, m1, chunksName, func(v float64) bool { return v >= 30 }, 30*time.Second)
+	srv1.kill9()
+
+	// The killed server's progress must be durable and mid-table.
+	whDir := filepath.Join(outDir, "wh-src-a")
+	k1 := func() int64 {
+		db, err := engine.Open(whDir, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		blog, err := warehouse.EnsureBootstrapLog(warehouse.New(db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, err := blog.Meta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !meta.Exists || meta.Done {
+			t.Fatalf("bootstrap meta after kill = %+v, want an unfinished run", meta)
+		}
+		prog, err := blog.Progress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range prog {
+			if p.Table != "parts" {
+				continue
+			}
+			if p.Done || len(p.LastKey) == 0 {
+				t.Fatalf("parts progress after kill = %+v, want mid-table", p)
+			}
+			tbl, err := db.Table("parts")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := opdelta.NewKeyCodec(tbl.Schema.Column(tbl.PKCol)).Decode(p.LastKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v.Int()
+		}
+		t.Fatal("no durable bootstrap progress for parts after kill -9")
+		return 0
+	}()
+	t.Logf("killed mid-bootstrap with durable progress through part_id %d", k1)
+
+	// Phase 2: restart the replica on the same address. The shipper
+	// reconnects on its own; the handshake resumes the run from the
+	// durable progress and finishes it.
+	srv2, m2, _ := startServer(outDir, addr)
+	waitMetric(t, m2, chunksName, func(v float64) bool { return v >= 1 }, 30*time.Second)
+	waitMetric(t, m2, `netrepl_bootstrap_active{source="src-a"}`,
+		func(v float64) bool { return v == 0 }, 60*time.Second)
+	body, err := scrape(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := sampleValue(body, chunksName)
+	if !ok {
+		t.Fatalf("no %s after resume; scrape:\n%s", chunksName, body)
+	}
+
+	ship.drain(15 * time.Second)
+	acked := ackedSeq(t, ship.expectLine("drained at acked seq", time.Second))
+	srv2.drain(15 * time.Second)
+
+	// No re-fetch: the restarted server's chunk count must be bounded by
+	// the rows ABOVE the durable progress key (plus slack for live
+	// inserts and chases) — re-reading the finished prefix would blow
+	// well past it.
+	src, err := engine.Open(srcDir, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	wh, err := engine.Open(whDir, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	whRows := partsByPK(t, wh)
+	nBelow := 0
+	for pk := range whRows {
+		if pk <= k1 {
+			nBelow++
+		}
+	}
+	if nBelow < 10 {
+		t.Fatalf("only %d replica rows at or below the kill-time progress key %d; the kill landed too early to prove resume", nBelow, k1)
+	}
+	if c2 > float64(len(whRows)-nBelow+15) {
+		t.Errorf("restarted server applied %.0f chunks for %d remaining rows (%d total, %d already finished); it re-fetched finished chunks",
+			c2, len(whRows)-nBelow, len(whRows), nBelow)
+	}
+
+	// Replica equals the source everywhere except keys touched by the
+	// few trailing ops captured after the shipper's final fetch (they
+	// are still in the op log above the acked seq — exclude exactly
+	// their statement footprints).
+	oplog, err := opdelta.NewTableLog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := oplog.Read(acked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcTbl, err := src.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tailFps []keyset.Footprint
+	for _, op := range tail {
+		fp := keyset.WholeTable()
+		if stmt, err := op.Statement(); err == nil {
+			fp = keyset.StatementFootprint(stmt, srcTbl.Schema, "part_id")
+		}
+		tailFps = append(tailFps, fp)
+	}
+	inTail := func(pk int64) bool {
+		pt := keyset.Footprint{Ranges: []keyset.KeyRange{keyset.Point(catalog.NewInt(pk))}}
+		for _, fp := range tailFps {
+			if fp.Overlaps(pt) {
+				return true
+			}
+		}
+		return false
+	}
+	srcRows := partsByPK(t, src)
+	mismatches := 0
+	for pk, w := range srcRows {
+		if inTail(pk) {
+			continue
+		}
+		if g, ok := whRows[pk]; !ok {
+			t.Errorf("replica lost row pk=%d (%s)", pk, w)
+			mismatches++
+		} else if g != w {
+			t.Errorf("replica row pk=%d = %q, want %q", pk, g, w)
+			mismatches++
+		}
+	}
+	for pk, g := range whRows {
+		if _, ok := srcRows[pk]; !ok && !inTail(pk) {
+			t.Errorf("replica has extra row pk=%d (%s)", pk, g)
+			mismatches++
+		}
+	}
+	if mismatches == 0 {
+		t.Logf("replica matches source across %d rows (%d tail ops excluded); resume applied %.0f chunks after %d finished",
+			len(srcRows), len(tail), c2, nBelow)
+	}
 }

@@ -29,7 +29,15 @@ import (
 // Shutdown is graceful on SIGINT/SIGTERM: load generation stops, the
 // shipper drains its in-flight window, and the stream ends with a
 // SHUTDOWN frame.
-func runShip(serverAddr, srcDir, source, metricsAddr string, rate int, duration time.Duration) error {
+//
+// The shipper always carries a Snapshotter, so a bare replica (topic
+// behind the op log's truncation base) can negotiate a DBLog-style
+// snapshot bootstrap in the handshake: chunked reads in PK order,
+// bracketed by watermarks, interleaved with the live delta stream —
+// writers are never blocked. With truncate, the op log is truncated at
+// its current head on startup, forcing exactly that path on a fresh
+// server; chunkRows/chunkDelay pace the chunk reads.
+func runShip(serverAddr, srcDir, source, metricsAddr string, rate, chunkRows int, chunkDelay time.Duration, truncate bool, duration time.Duration) error {
 	reg := obs.Default()
 	if metricsAddr != "" {
 		if _, err := serveObs(metricsAddr, reg, nil); err != nil {
@@ -60,6 +68,19 @@ func runShip(serverAddr, srcDir, source, metricsAddr string, rate int, duration 
 	}
 	capture := &opdelta.Capture{DB: src, Log: oplog, Analyzer: opdelta.NewAnalyzer(view), Obs: reg}
 
+	if truncate {
+		if head := oplog.Seq(); head > 0 {
+			if err := oplog.Truncate(head); err != nil {
+				return err
+			}
+			fmt.Printf("opdeltad: op log truncated at seq %d; a bare replica must bootstrap\n", head)
+		}
+	}
+	snap := &opdelta.Snapshotter{
+		DB: src, Log: oplog, Tables: []string{"parts"},
+		ChunkRows: chunkRows, ChunkDelay: chunkDelay,
+	}
+
 	sh := netrepl.NewShipper(netrepl.ShipperConfig{
 		Source: source,
 		Dial:   func() (net.Conn, error) { return net.DialTimeout("tcp", serverAddr, 2*time.Second) },
@@ -71,8 +92,9 @@ func runShip(serverAddr, srcDir, source, metricsAddr string, rate int, duration 
 			}
 			return t.Schema, nil
 		},
-		Obs:   reg,
-		Retry: retry.Policy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Multiplier: 2, Jitter: 0.5},
+		Snapshot: snap,
+		Obs:      reg,
+		Retry:    retry.Policy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Multiplier: 2, Jitter: 0.5},
 	})
 	fmt.Printf("opdeltad: shipping source %q from %s to %s\n", source, srcDir, serverAddr)
 

@@ -125,6 +125,16 @@ func (n *Net) Dial() (net.Conn, error) {
 		return nil, ErrDialFault
 	}
 	client, server := n.newPair(cseq)
+	// The hand-off must hold mu: Close closes the accept channel under
+	// it, and an unguarded send would race a concurrent Close (send on
+	// closed channel). The send never blocks — it has a default arm.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		client.Close()
+		server.Close()
+		return nil, ErrNetClosed
+	}
 	select {
 	case n.accept <- server:
 		return client, nil

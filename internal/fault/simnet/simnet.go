@@ -323,6 +323,21 @@ func withSeed(p fault.NetProfile, seed int64) fault.NetProfile {
 // workload issues Txns transactions of DML against the capture
 // wrapper: inserts of fresh keys, updates and deletes of live ones.
 func workload(c *opdelta.Capture, rng *rand.Rand, txns int) error {
+	for _, stmt := range genStatements(rng, txns) {
+		if _, err := c.Exec(nil, stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genStatements derives the deterministic DML stream for a seed without
+// executing it: inserts of fresh keys, updates and deletes of live
+// ones. The rng draw order matches what workload always did, so seeds
+// keep their digests; the bootstrap soak uses the pre-generated list so
+// its free-running writer goroutine cannot perturb seed purity.
+func genStatements(rng *rand.Rand, txns int) []string {
+	stmts := make([]string, 0, txns)
 	var live []int
 	next := 0
 	for i := 0; i < txns; i++ {
@@ -331,25 +346,19 @@ func workload(c *opdelta.Capture, rng *rand.Rand, txns int) error {
 		case len(live) > 0 && roll < 0.25:
 			j := rng.Intn(len(live))
 			id := live[j]
-			if _, err := c.Exec(nil, fmt.Sprintf(`UPDATE parts SET status = 'hot', qty = %d WHERE part_id = %d`, rng.Intn(500), id)); err != nil {
-				return err
-			}
+			stmts = append(stmts, fmt.Sprintf(`UPDATE parts SET status = 'hot', qty = %d WHERE part_id = %d`, rng.Intn(500), id))
 		case len(live) > 1 && roll < 0.40:
 			j := rng.Intn(len(live))
 			id := live[j]
 			live = append(live[:j], live[j+1:]...)
-			if _, err := c.Exec(nil, fmt.Sprintf(`DELETE FROM parts WHERE part_id = %d`, id)); err != nil {
-				return err
-			}
+			stmts = append(stmts, fmt.Sprintf(`DELETE FROM parts WHERE part_id = %d`, id))
 		default:
 			next++
 			live = append(live, next)
-			if _, err := c.Exec(nil, fmt.Sprintf(`INSERT INTO parts (part_id, status, qty) VALUES (%d, 'new', %d)`, next, rng.Intn(500))); err != nil {
-				return err
-			}
+			stmts = append(stmts, fmt.Sprintf(`INSERT INTO parts (part_id, status, qty) VALUES (%d, 'new', %d)`, next, rng.Intn(500)))
 		}
 	}
-	return nil
+	return stmts
 }
 
 // tableDigest fingerprints a table's rows, order-independently.

@@ -33,6 +33,53 @@ type Log interface {
 // TableLogName is the capture table used by TableLog.
 const TableLogName = "opdelta__log"
 
+// seqTracker follows the resolution state of assigned op sequence
+// numbers: an op's seq is assigned at Append time, inside the capturing
+// transaction, so the highest assigned seq alone says nothing about
+// what has committed. The tracker lets the snapshot reader compute a
+// sound low watermark — the resolved horizon, below which every op has
+// either committed or aborted — and the highest committed seq, which
+// upper-bounds the ops a chunk read could have observed.
+type seqTracker struct {
+	mu           sync.Mutex
+	unresolved   map[uint64]struct{}
+	maxCommitted uint64
+}
+
+func (t *seqTracker) assigned(seq uint64) {
+	t.mu.Lock()
+	if t.unresolved == nil {
+		t.unresolved = make(map[uint64]struct{})
+	}
+	t.unresolved[seq] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *seqTracker) resolve(committed bool, seqs ...uint64) {
+	t.mu.Lock()
+	for _, seq := range seqs {
+		delete(t.unresolved, seq)
+		if committed && seq > t.maxCommitted {
+			t.maxCommitted = seq
+		}
+	}
+	t.mu.Unlock()
+}
+
+// horizon returns the resolved horizon given the last assigned seq:
+// the largest seq such that no op at or below it is still in flight.
+func (t *seqTracker) horizon(maxAssigned uint64) (resolved, maxCommitted uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	resolved = maxAssigned
+	for seq := range t.unresolved {
+		if seq-1 < resolved {
+			resolved = seq - 1
+		}
+	}
+	return resolved, t.maxCommitted
+}
+
 // tableLogSchema stores one op per row.
 func tableLogSchema() *catalog.Schema {
 	return catalog.NewSchema(
@@ -54,7 +101,12 @@ func tableLogSchema() *catalog.Schema {
 type TableLog struct {
 	DB *engine.DB
 	// SchemaOf resolves a table's schema for before-image encoding.
-	seq atomic.Uint64
+	seq  atomic.Uint64
+	base atomic.Uint64
+	trk  seqTracker
+
+	pmu     sync.Mutex
+	pending map[*engine.Tx][]uint64
 }
 
 // NewTableLog creates (if needed) the op-log table and returns the log.
@@ -64,18 +116,46 @@ func NewTableLog(db *engine.DB) (*TableLog, error) {
 			return nil, err
 		}
 	}
-	l := &TableLog{DB: db}
-	var maxSeq int64
+	l := &TableLog{DB: db, pending: make(map[*engine.Tx][]uint64)}
+	var maxSeq, base int64
 	if err := db.ScanTable(nil, TableLogName, func(row catalog.Tuple) error {
 		if row[0].Int() > maxSeq {
 			maxSeq = row[0].Int()
+		}
+		// BASE markers survive truncation and pin both the sequence floor
+		// and the truncation boundary across a reopen.
+		if row[2].Str() == "BASE" && row[0].Int() > base {
+			base = row[0].Int()
 		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	l.seq.Store(uint64(maxSeq))
+	l.base.Store(uint64(base))
 	return l, nil
+}
+
+// Seq returns the last sequence number assigned (0 before any append).
+func (l *TableLog) Seq() uint64 { return l.seq.Load() }
+
+// Base returns the truncation boundary: ops with Seq at or below it
+// have been deleted from the log and can no longer be replayed.
+func (l *TableLog) Base() uint64 { return l.base.Load() }
+
+// Horizon reports the resolved horizon — every op with Seq at or below
+// it has either committed or aborted — and the highest committed seq.
+// The snapshot reader brackets chunk reads with these watermarks.
+func (l *TableLog) Horizon() (resolved, maxCommitted uint64) {
+	return l.trk.horizon(l.seq.Load())
+}
+
+func (l *TableLog) resolveTx(tx *engine.Tx, committed bool) {
+	l.pmu.Lock()
+	seqs := l.pending[tx]
+	delete(l.pending, tx)
+	l.pmu.Unlock()
+	l.trk.resolve(committed, seqs...)
 }
 
 // beforeChunk bounds the per-row before-image payload so op rows stay
@@ -87,6 +167,28 @@ const beforeChunk = 6 << 10
 // payloads) within tx.
 func (l *TableLog) Append(tx *engine.Tx, op *Op) error {
 	op.Seq = l.seq.Add(1)
+	l.trk.assigned(op.Seq)
+	if err := l.appendRows(tx, op); err != nil {
+		l.trk.resolve(false, op.Seq)
+		return err
+	}
+	if tx == nil {
+		l.trk.resolve(true, op.Seq)
+		return nil
+	}
+	l.pmu.Lock()
+	seqs := l.pending[tx]
+	first := seqs == nil
+	l.pending[tx] = append(seqs, op.Seq)
+	l.pmu.Unlock()
+	if first {
+		tx.OnCommit(func() error { l.resolveTx(tx, true); return nil })
+		tx.OnAbort(func() { l.resolveTx(tx, false) })
+	}
+	return nil
+}
+
+func (l *TableLog) appendRows(tx *engine.Tx, op *Op) error {
 	var beforeEnc []byte
 	if len(op.Before) > 0 {
 		t, err := l.DB.Table(op.Table)
@@ -150,7 +252,7 @@ func (l *TableLog) Read(fromSeq uint64) ([]*Op, error) {
 	partials := map[uint64]*partial{}
 	err := l.DB.ScanTable(nil, TableLogName, func(row catalog.Tuple) error {
 		seq := uint64(row[0].Int())
-		if seq <= fromSeq {
+		if seq <= fromSeq || row[2].Str() == "BASE" {
 			return nil
 		}
 		p := partials[seq]
@@ -221,10 +323,37 @@ func (l *TableLog) Read(fromSeq uint64) ([]*Op, error) {
 	return out, nil
 }
 
-// Truncate removes shipped ops (Seq <= upto).
+// Truncate removes shipped ops (Seq <= upto) and records the new
+// truncation boundary durably: a BASE marker row at seq upto keeps the
+// sequence counter and Base() correct across a reopen, so a truncated
+// log never re-issues sequence numbers a replica may already hold.
 func (l *TableLog) Truncate(upto uint64) error {
-	_, err := l.DB.Exec(nil, fmt.Sprintf("DELETE FROM %s WHERE o_seq <= %d", TableLogName, upto))
-	return err
+	if upto == 0 {
+		return nil
+	}
+	if _, err := l.DB.Exec(nil, fmt.Sprintf("DELETE FROM %s WHERE o_seq <= %d", TableLogName, upto)); err != nil {
+		return err
+	}
+	marker := catalog.Tuple{
+		catalog.NewInt(int64(upto)),
+		catalog.NewInt(0),
+		catalog.NewString("BASE"),
+		catalog.NewString(""),
+		catalog.NewString(""),
+		catalog.NewTime(l.DB.Now()),
+		catalog.NewBool(false),
+		catalog.NewInt(0),
+		catalog.NewNull(catalog.TypeBytes),
+	}
+	if err := l.DB.InsertTuple(nil, TableLogName, marker); err != nil {
+		return err
+	}
+	for {
+		cur := l.base.Load()
+		if upto <= cur || l.base.CompareAndSwap(cur, upto) {
+			return nil
+		}
+	}
 }
 
 // Close is a no-op (the table persists).
@@ -256,8 +385,19 @@ type FileLog struct {
 	// Sync forces an fsync per commit batch when true.
 	Sync bool
 
+	trk     seqTracker
 	pending map[*engine.Tx][]*Op
 }
+
+// Horizon reports the resolved watermark horizon and the largest
+// committed seq; see TableLog.Horizon.
+func (l *FileLog) Horizon() (resolved, maxCommitted uint64) {
+	return l.trk.horizon(l.seq.Load())
+}
+
+// Base reports the truncation boundary. FileLog does not support
+// truncation, so the base is always zero.
+func (l *FileLog) Base() uint64 { return 0 }
 
 // NewFileLog opens (appending to) the op log file at path.
 func NewFileLog(path string, schemaOf func(table string) (*catalog.Schema, error)) (*FileLog, error) {
@@ -293,8 +433,11 @@ func NewFileLogFS(fsys fault.FS, path string, schemaOf func(table string) (*cata
 // commits. With a nil tx the op is written immediately.
 func (l *FileLog) Append(tx *engine.Tx, op *Op) error {
 	op.Seq = l.seq.Add(1)
+	l.trk.assigned(op.Seq)
 	if tx == nil {
-		return l.writeOps([]*Op{op})
+		err := l.writeOps([]*Op{op})
+		l.trk.resolve(err == nil, op.Seq)
+		return err
 	}
 	l.mu.Lock()
 	buffered := l.pending[tx]
@@ -307,15 +450,27 @@ func (l *FileLog) Append(tx *engine.Tx, op *Op) error {
 			ops := l.pending[tx]
 			delete(l.pending, tx)
 			l.mu.Unlock()
-			return l.writeOps(ops)
+			err := l.writeOps(ops)
+			l.trk.resolve(err == nil, opSeqs(ops)...)
+			return err
 		})
 		tx.OnAbort(func() {
 			l.mu.Lock()
+			ops := l.pending[tx]
 			delete(l.pending, tx)
 			l.mu.Unlock()
+			l.trk.resolve(false, opSeqs(ops)...)
 		})
 	}
 	return nil
+}
+
+func opSeqs(ops []*Op) []uint64 {
+	out := make([]uint64, len(ops))
+	for i, op := range ops {
+		out[i] = op.Seq
+	}
+	return out
 }
 
 func (l *FileLog) writeOps(ops []*Op) error {

@@ -1,0 +1,280 @@
+package opdelta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/sqlmini"
+)
+
+// SnapshotLog is the slice of a capture log the snapshot reader needs:
+// watermark sampling and the truncation boundary advertised during the
+// bootstrap handshake. Both TableLog and FileLog satisfy it.
+type SnapshotLog interface {
+	// Seq returns the largest seq assigned so far (committed or not).
+	Seq() uint64
+	// Horizon returns the resolved horizon (largest seq R such that
+	// every op with seq <= R has either committed or aborted) and the
+	// largest committed seq.
+	Horizon() (resolved, maxCommitted uint64)
+	// Base returns the truncation boundary: ops with seq <= Base are
+	// no longer replayable from the log.
+	Base() uint64
+}
+
+// KeyCodec encodes single primary-key values for the wire using the
+// same tuple encoding as rows, with a one-column schema.
+type KeyCodec struct {
+	sch *catalog.Schema
+}
+
+// NewKeyCodec builds a codec for one PK column.
+func NewKeyCodec(col catalog.Column) *KeyCodec {
+	return &KeyCodec{sch: catalog.NewSchema(col)}
+}
+
+// Encode serializes one key value.
+func (c *KeyCodec) Encode(v catalog.Value) ([]byte, error) {
+	return catalog.EncodeTuple(nil, c.sch, catalog.Tuple{v})
+}
+
+// Decode deserializes one key value.
+func (c *KeyCodec) Decode(data []byte) (catalog.Value, error) {
+	t, err := catalog.DecodeTuple(c.sch, data)
+	if err != nil {
+		return catalog.Value{}, err
+	}
+	return t[0], nil
+}
+
+// Snapshotter reads watermark-bracketed chunks of source state for
+// replica bootstrap, DBLog-style. Every read runs in its own short
+// transaction so writers are never blocked for longer than one chunk
+// select; correctness against concurrent writers comes from the
+// low/high watermark window the caller brackets each chunk with, not
+// from holding locks across chunks.
+type Snapshotter struct {
+	DB  *engine.DB
+	Log SnapshotLog
+	// Tables restricts the snapshot to an explicit list; when nil, all
+	// tables except opdelta-internal ones are snapshotted in sorted
+	// order.
+	Tables []string
+	// ChunkRows bounds rows per chunk; default 128.
+	ChunkRows int
+	// ChunkDelay, when set, is honored by the shipper between chunks to
+	// pace bootstrap against live traffic.
+	ChunkDelay time.Duration
+	// BeforeRead, when set, runs before each chunk/chase read. Test
+	// seam: lets a test widen the watermark window deterministically by
+	// committing writes between the low watermark and the read.
+	BeforeRead func(table string)
+	// AfterRead, when set, runs after a chunk/chase read's transaction
+	// has committed, before the caller samples the fence. Test seam: a
+	// write committed here is invisible to the rows just read yet lands
+	// inside the chunk's watermark window — the exact race the replica's
+	// delta-wins reconciliation must resolve.
+	AfterRead func(table string)
+
+	mu     sync.Mutex
+	codecs map[string]*KeyCodec
+	pkCols map[string]string
+}
+
+func (s *Snapshotter) chunkRows() int {
+	if s.ChunkRows > 0 {
+		return s.ChunkRows
+	}
+	return 128
+}
+
+// TableList returns the tables to snapshot, in snapshot order.
+func (s *Snapshotter) TableList() []string {
+	if s.Tables != nil {
+		return append([]string(nil), s.Tables...)
+	}
+	var out []string
+	for _, name := range s.DB.Tables() {
+		if strings.HasPrefix(strings.ToLower(name), "opdelta__") {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Low samples the low watermark for the next chunk: the resolved
+// horizon. Every committed op with seq <= Low is fully visible to any
+// chunk read started afterwards.
+func (s *Snapshotter) Low() uint64 {
+	resolved, _ := s.Log.Horizon()
+	return resolved
+}
+
+// ReadFence samples the high-watermark fence immediately after a chunk
+// read commits: all ops assigned so far. Once every op <= the fence has
+// resolved, the chunk can be published with High as its high watermark.
+func (s *Snapshotter) ReadFence() uint64 {
+	return s.Log.Seq()
+}
+
+// High reports whether every op up to fence has resolved, and if so the
+// high watermark to bracket the chunk with (the largest committed seq).
+// Writers keep appending while the caller polls; only ops that were
+// already in flight at read time are waited on.
+func (s *Snapshotter) High(fence uint64) (high uint64, ok bool) {
+	resolved, maxCommitted := s.Log.Horizon()
+	if resolved < fence {
+		return 0, false
+	}
+	return maxCommitted, true
+}
+
+func (s *Snapshotter) tableMeta(table string) (*engine.Table, string, *KeyCodec, error) {
+	tbl, err := s.DB.Table(table)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if tbl.PKCol < 0 {
+		return nil, "", nil, fmt.Errorf("opdelta: snapshot of %q requires a primary key", table)
+	}
+	col := tbl.Schema.Column(tbl.PKCol)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.codecs == nil {
+		s.codecs = make(map[string]*KeyCodec)
+		s.pkCols = make(map[string]string)
+	}
+	c, ok := s.codecs[table]
+	if !ok {
+		c = NewKeyCodec(col)
+		s.codecs[table] = c
+		s.pkCols[table] = col.Name
+	}
+	return tbl, s.pkCols[table], c, nil
+}
+
+// Codec returns the key codec for a table's PK column.
+func (s *Snapshotter) Codec(table string) (*KeyCodec, error) {
+	_, _, c, err := s.tableMeta(table)
+	return c, err
+}
+
+// ReadChunk reads the next chunk of table after the given encoded key
+// (nil for the first chunk), in PK order, inside one short transaction.
+// It returns the encoded rows, the encoded PK of the last row, and
+// whether the table is exhausted.
+func (s *Snapshotter) ReadChunk(table string, after []byte) (rows [][]byte, lastKey []byte, final bool, err error) {
+	tbl, pkName, codec, err := s.tableMeta(table)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if s.BeforeRead != nil {
+		s.BeforeRead(table)
+	}
+	limit := s.chunkRows()
+	var tuples []catalog.Tuple
+	if after == nil {
+		// First chunk: no lower bound to range-scan from, so
+		// materialize through the ordering executor once per table.
+		sel := &sqlmini.Select{Table: table, OrderBy: pkName, Limit: limit + 1}
+		_, tuples, err = s.DB.QueryStmt(nil, sel)
+	} else {
+		var afterVal catalog.Value
+		afterVal, err = codec.Decode(after)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		// PK-range plans iterate the unique PK index in key order, so
+		// the limit+1 probe sees the next rows without a sort.
+		sel := &sqlmini.Select{
+			Table: table,
+			Where: &sqlmini.Binary{Op: sqlmini.OpGt, L: &sqlmini.ColRef{Name: pkName}, R: &sqlmini.Literal{Val: afterVal}},
+			Limit: limit + 1,
+		}
+		_, err = s.DB.IterateSelect(nil, sel, func(t catalog.Tuple) error {
+			tuples = append(tuples, t)
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if s.AfterRead != nil {
+		s.AfterRead(table)
+	}
+	final = len(tuples) <= limit
+	if !final {
+		tuples = tuples[:limit]
+	}
+	if len(tuples) == 0 {
+		return nil, nil, true, nil
+	}
+	rows = make([][]byte, len(tuples))
+	for i, t := range tuples {
+		rows[i], err = catalog.EncodeTuple(nil, tbl.Schema, t)
+		if err != nil {
+			return nil, nil, false, err
+		}
+	}
+	lastKey, err = codec.Encode(tuples[len(tuples)-1][tbl.PKCol])
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return rows, lastKey, final, nil
+}
+
+// ReadKeys re-reads exactly the given encoded keys in one transaction
+// (a chase, in DBLog terms: keys whose chunk rows were invalidated by
+// concurrent deltas). Keys absent from the result were deleted at the
+// source, which the replica treats as resolved-absent.
+func (s *Snapshotter) ReadKeys(table string, keys [][]byte) (rows [][]byte, err error) {
+	tbl, pkName, codec, err := s.tableMeta(table)
+	if err != nil {
+		return nil, err
+	}
+	if s.BeforeRead != nil {
+		s.BeforeRead(table)
+	}
+	tx := s.DB.Begin()
+	defer func() {
+		if tx != nil {
+			tx.Abort()
+		}
+	}()
+	for _, k := range keys {
+		kv, err := codec.Decode(k)
+		if err != nil {
+			return nil, err
+		}
+		sel := &sqlmini.Select{
+			Table: table,
+			Where: &sqlmini.Binary{Op: sqlmini.OpEq, L: &sqlmini.ColRef{Name: pkName}, R: &sqlmini.Literal{Val: kv}},
+		}
+		_, err = s.DB.IterateSelect(tx, sel, func(t catalog.Tuple) error {
+			enc, err := catalog.EncodeTuple(nil, tbl.Schema, t)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, enc)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	tx = nil
+	if s.AfterRead != nil {
+		s.AfterRead(table)
+	}
+	return rows, nil
+}

@@ -27,6 +27,11 @@ type Applier struct {
 	SchemaOf func(table string) (*catalog.Schema, error)
 	// Tracer, when set, traces each op's dequeue→durable lifecycle.
 	Tracer *obs.Tracer
+	// Bootstrap, when set, is this source's snapshot-bootstrap
+	// coordinator: the applier feeds it every applied batch (footprints
+	// + cursor) and polls it when idle, so chunk reconciliation runs on
+	// this goroutine, strictly serialized with delta application.
+	Bootstrap *Bootstrapper
 	// Obs receives the applier's metrics; nil keeps a private registry.
 	Obs *obs.Registry
 	// BatchOps bounds ops per integrator call. Default 256.
@@ -76,6 +81,9 @@ func (a *Applier) Run(stop <-chan struct{}) error {
 			batch = append(batch, op)
 		}
 		if len(batch) == 0 {
+			if err := a.Bootstrap.Poll(); err != nil {
+				return err
+			}
 			select {
 			case <-stop:
 				return nil
@@ -87,6 +95,9 @@ func (a *Applier) Run(stop <-chan struct{}) error {
 			return err
 		}
 		if err := a.Topic.Q.Ack(); err != nil {
+			return err
+		}
+		if err := a.Bootstrap.Observe(batch); err != nil {
 			return err
 		}
 		applied.Add(uint64(len(batch)))

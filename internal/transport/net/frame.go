@@ -30,8 +30,12 @@ import (
 	"io"
 )
 
-// Protocol version, sent in HELLO and checked by the server.
-const Version = 1
+// Protocol version, sent in HELLO and checked by the server. Version 2
+// adds snapshot bootstrap: HELLO carries the source log's truncation
+// base, WELCOME carries a mode byte plus per-table bootstrap progress,
+// and the WATERMARK / SNAPSHOT_CHUNK / CHUNK_ACK frames bracket chunked
+// state transfer with low/high watermarks (DBLog-style).
+const Version = 2
 
 // Frame types.
 const (
@@ -59,6 +63,20 @@ const (
 	// source id): payload is a human-readable reason. Unlike BUSY,
 	// retrying cannot help.
 	FrameReject
+	// FrameWatermark brackets a snapshot chunk in the live stream: the
+	// low watermark is sampled before the chunk read, the high one
+	// after every op in flight at read time has resolved. The replica
+	// uses the carried log seqs, not stream position, so watermarks
+	// survive the same frame reordering the prevSeq chain defends
+	// deltas against.
+	FrameWatermark
+	// FrameSnapshotChunk carries one PK-ordered chunk of snapshot rows
+	// (or a chase: point re-reads of keys invalidated by concurrent
+	// deltas).
+	FrameSnapshotChunk
+	// FrameChunkAck is the server's verdict on a chunk round: done, or
+	// resend these keys with a fresh watermark window.
+	FrameChunkAck
 )
 
 // FlagReply marks a frame as a response to a peer probe (heartbeat
@@ -97,6 +115,12 @@ func frameName(typ byte) string {
 		return "SHUTDOWN"
 	case FrameReject:
 		return "REJECT"
+	case FrameWatermark:
+		return "WATERMARK"
+	case FrameSnapshotChunk:
+		return "SNAPSHOT_CHUNK"
+	case FrameChunkAck:
+		return "CHUNK_ACK"
 	default:
 		return fmt.Sprintf("type%d", typ)
 	}
@@ -151,19 +175,312 @@ func ReadFrame(r io.Reader) (typ, flags byte, payload []byte, err error) {
 	return hdr[0], hdr[1], payload, nil
 }
 
-// helloPayload encodes HELLO: version byte + source id.
-func helloPayload(source string) []byte {
-	out := make([]byte, 0, 1+len(source))
+// Bootstrap modes negotiated in WELCOME.
+const (
+	// ModeStream: the replica can resume from the delta stream alone;
+	// the shipper sends deltas after the WELCOME seq, as in version 1.
+	ModeStream = byte(0)
+	// ModeBootstrap: the replica needs (or is resuming) a snapshot
+	// bootstrap; WELCOME carries per-table chunk progress and the
+	// shipper interleaves watermark-bracketed chunks with live deltas.
+	ModeBootstrap = byte(1)
+)
+
+// BootstrapProgress is one table's durable bootstrap position, sent in
+// WELCOME so a resuming shipper skips finished chunks.
+type BootstrapProgress struct {
+	Table string
+	Done  bool
+	// LastKey is the encoded PK of the last chunk already applied;
+	// empty means start from the beginning of the table.
+	LastKey []byte
+}
+
+// helloPayload encodes HELLO: version byte, uvarint source-log
+// truncation base, source id.
+func helloPayload(source string, base uint64) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+len(source))
 	out = append(out, Version)
+	out = binary.AppendUvarint(out, base)
 	return append(out, source...)
 }
 
-// parseHello decodes a HELLO payload.
-func parseHello(p []byte) (version byte, source string, err error) {
+// parseHello decodes a HELLO payload. A version-1 payload (no base
+// field) parses with base 0 so the server can name the version in its
+// REJECT instead of dropping the connection on a frame error.
+func parseHello(p []byte) (version byte, base uint64, source string, err error) {
 	if len(p) < 2 {
-		return 0, "", fmt.Errorf("%w: HELLO too short", ErrBadFrame)
+		return 0, 0, "", fmt.Errorf("%w: HELLO too short", ErrBadFrame)
 	}
-	return p[0], string(p[1:]), nil
+	version = p[0]
+	if version < 2 {
+		return version, 0, string(p[1:]), nil
+	}
+	base, k := binary.Uvarint(p[1:])
+	if k <= 0 || len(p) < 1+k+1 {
+		return 0, 0, "", fmt.Errorf("%w: HELLO base", ErrBadFrame)
+	}
+	return version, base, string(p[1+k:]), nil
+}
+
+// appendBlob appends a uvarint-length-prefixed byte string.
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// takeBlob reads a uvarint-length-prefixed byte string at pos. The
+// returned slice aliases p.
+func takeBlob(p []byte, pos int) ([]byte, int, error) {
+	l, k := binary.Uvarint(p[pos:])
+	if k <= 0 || uint64(len(p)-pos-k) < l {
+		return nil, 0, fmt.Errorf("%w: truncated blob", ErrBadFrame)
+	}
+	pos += k
+	return p[pos : pos+int(l)], pos + int(l), nil
+}
+
+// welcomePayload encodes WELCOME: 8-byte resume seq, mode byte, and in
+// ModeBootstrap a uvarint table count followed by per-table progress
+// (blob table name, state byte 0=in-progress 1=done, blob last key).
+func welcomePayload(seq uint64, mode byte, progress []BootstrapProgress) []byte {
+	out := make([]byte, 0, 16)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seq)
+	out = append(out, buf[:]...)
+	out = append(out, mode)
+	if mode == ModeBootstrap {
+		out = binary.AppendUvarint(out, uint64(len(progress)))
+		for _, pr := range progress {
+			out = appendBlob(out, []byte(pr.Table))
+			if pr.Done {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+			out = appendBlob(out, pr.LastKey)
+		}
+	}
+	return out
+}
+
+// parseWelcome decodes a WELCOME payload. A bare 8-byte payload (the
+// version-1 shape) parses as ModeStream.
+func parseWelcome(p []byte) (seq uint64, mode byte, progress []BootstrapProgress, err error) {
+	if len(p) < 8 {
+		return 0, 0, nil, fmt.Errorf("%w: WELCOME %d bytes", ErrBadFrame, len(p))
+	}
+	seq = binary.LittleEndian.Uint64(p[:8])
+	if len(p) == 8 {
+		return seq, ModeStream, nil, nil
+	}
+	mode = p[8]
+	pos := 9
+	if mode == ModeBootstrap {
+		n, k := binary.Uvarint(p[pos:])
+		if k <= 0 {
+			return 0, 0, nil, fmt.Errorf("%w: WELCOME table count", ErrBadFrame)
+		}
+		pos += k
+		for i := uint64(0); i < n; i++ {
+			var table, key []byte
+			if table, pos, err = takeBlob(p, pos); err != nil {
+				return 0, 0, nil, err
+			}
+			if pos >= len(p) {
+				return 0, 0, nil, fmt.Errorf("%w: WELCOME progress state", ErrBadFrame)
+			}
+			state := p[pos]
+			pos++
+			if key, pos, err = takeBlob(p, pos); err != nil {
+				return 0, 0, nil, err
+			}
+			pr := BootstrapProgress{Table: string(table), Done: state == 1}
+			if len(key) > 0 {
+				pr.LastKey = append([]byte(nil), key...)
+			}
+			progress = append(progress, pr)
+		}
+	}
+	if pos != len(p) {
+		return 0, 0, nil, fmt.Errorf("%w: WELCOME trailing bytes", ErrBadFrame)
+	}
+	return seq, mode, progress, nil
+}
+
+// Watermark kinds.
+const (
+	wmLow  = byte(0)
+	wmHigh = byte(1)
+)
+
+// watermarkPayload encodes WATERMARK: kind byte, uvarint chunk id,
+// uvarint round, uvarint log seq. The round disambiguates chase rounds
+// of the same chunk under frame duplication and reordering.
+func watermarkPayload(kind byte, chunkID, round, seq uint64) []byte {
+	out := make([]byte, 0, 1+3*binary.MaxVarintLen64)
+	out = append(out, kind)
+	out = binary.AppendUvarint(out, chunkID)
+	out = binary.AppendUvarint(out, round)
+	return binary.AppendUvarint(out, seq)
+}
+
+// parseWatermark decodes a WATERMARK payload.
+func parseWatermark(p []byte) (kind byte, chunkID, round, seq uint64, err error) {
+	if len(p) < 4 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: WATERMARK %d bytes", ErrBadFrame, len(p))
+	}
+	kind = p[0]
+	if kind != wmLow && kind != wmHigh {
+		return 0, 0, 0, 0, fmt.Errorf("%w: WATERMARK kind %d", ErrBadFrame, kind)
+	}
+	pos := 1
+	for _, dst := range []*uint64{&chunkID, &round, &seq} {
+		v, k := binary.Uvarint(p[pos:])
+		if k <= 0 {
+			return 0, 0, 0, 0, fmt.Errorf("%w: WATERMARK varint", ErrBadFrame)
+		}
+		*dst = v
+		pos += k
+	}
+	if pos != len(p) {
+		return 0, 0, 0, 0, fmt.Errorf("%w: WATERMARK trailing bytes", ErrBadFrame)
+	}
+	return kind, chunkID, round, seq, nil
+}
+
+// Chunk flags.
+const (
+	chunkFinal   = byte(1 << 0) // last chunk of its table
+	chunkChase   = byte(1 << 1) // point re-reads of invalidated keys
+	chunkRunDone = byte(1 << 2) // last chunk of the whole run: applying it completes bootstrap
+)
+
+// chunkPayload encodes SNAPSHOT_CHUNK: uvarint chunk id, uvarint
+// round, flags byte, blob table name, blob last key (the PK the next
+// chunk resumes after; carried on every round so chase rounds stay
+// self-contained), uvarint row count, then one blob per encoded row.
+func chunkPayload(chunkID, round uint64, flags byte, table string, lastKey []byte, rows [][]byte) []byte {
+	size := 3*binary.MaxVarintLen64 + 1 + len(table) + len(lastKey) + 2*binary.MaxVarintLen64
+	for _, r := range rows {
+		size += binary.MaxVarintLen64 + len(r)
+	}
+	out := make([]byte, 0, size)
+	out = binary.AppendUvarint(out, chunkID)
+	out = binary.AppendUvarint(out, round)
+	out = append(out, flags)
+	out = appendBlob(out, []byte(table))
+	out = appendBlob(out, lastKey)
+	out = binary.AppendUvarint(out, uint64(len(rows)))
+	for _, r := range rows {
+		out = appendBlob(out, r)
+	}
+	return out
+}
+
+// parseChunk decodes a SNAPSHOT_CHUNK payload. Row slices alias p.
+func parseChunk(p []byte) (chunkID, round uint64, flags byte, table string, lastKey []byte, rows [][]byte, err error) {
+	pos := 0
+	var k int
+	chunkID, k = binary.Uvarint(p)
+	if k <= 0 {
+		return 0, 0, 0, "", nil, nil, fmt.Errorf("%w: CHUNK id", ErrBadFrame)
+	}
+	pos += k
+	round, k = binary.Uvarint(p[pos:])
+	if k <= 0 || pos+k >= len(p) {
+		return 0, 0, 0, "", nil, nil, fmt.Errorf("%w: CHUNK round", ErrBadFrame)
+	}
+	pos += k
+	flags = p[pos]
+	pos++
+	var tb []byte
+	if tb, pos, err = takeBlob(p, pos); err != nil {
+		return 0, 0, 0, "", nil, nil, err
+	}
+	table = string(tb)
+	if lastKey, pos, err = takeBlob(p, pos); err != nil {
+		return 0, 0, 0, "", nil, nil, err
+	}
+	if len(lastKey) == 0 {
+		lastKey = nil
+	}
+	n, k := binary.Uvarint(p[pos:])
+	if k <= 0 {
+		return 0, 0, 0, "", nil, nil, fmt.Errorf("%w: CHUNK row count", ErrBadFrame)
+	}
+	pos += k
+	rows = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var r []byte
+		if r, pos, err = takeBlob(p, pos); err != nil {
+			return 0, 0, 0, "", nil, nil, fmt.Errorf("%w: CHUNK row %d", ErrBadFrame, i)
+		}
+		rows = append(rows, r)
+	}
+	if pos != len(p) {
+		return 0, 0, 0, "", nil, nil, fmt.Errorf("%w: CHUNK trailing bytes", ErrBadFrame)
+	}
+	return chunkID, round, flags, table, lastKey, rows, nil
+}
+
+// Chunk ack statuses.
+const (
+	chunkDone   = byte(0) // chunk applied durably; advance to the next
+	chunkResend = byte(1) // re-read the listed keys under a new window
+)
+
+// chunkAckPayload encodes CHUNK_ACK: uvarint chunk id, uvarint round,
+// status byte, uvarint key count, one blob per invalidated key.
+func chunkAckPayload(chunkID, round uint64, status byte, keys [][]byte) []byte {
+	size := 3*binary.MaxVarintLen64 + 1
+	for _, k := range keys {
+		size += binary.MaxVarintLen64 + len(k)
+	}
+	out := make([]byte, 0, size)
+	out = binary.AppendUvarint(out, chunkID)
+	out = binary.AppendUvarint(out, round)
+	out = append(out, status)
+	out = binary.AppendUvarint(out, uint64(len(keys)))
+	for _, k := range keys {
+		out = appendBlob(out, k)
+	}
+	return out
+}
+
+// parseChunkAck decodes a CHUNK_ACK payload. Key slices alias p.
+func parseChunkAck(p []byte) (chunkID, round uint64, status byte, keys [][]byte, err error) {
+	pos := 0
+	var k int
+	chunkID, k = binary.Uvarint(p)
+	if k <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: CHUNK_ACK id", ErrBadFrame)
+	}
+	pos += k
+	round, k = binary.Uvarint(p[pos:])
+	if k <= 0 || pos+k >= len(p) {
+		return 0, 0, 0, nil, fmt.Errorf("%w: CHUNK_ACK round", ErrBadFrame)
+	}
+	pos += k
+	status = p[pos]
+	pos++
+	n, k := binary.Uvarint(p[pos:])
+	if k <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: CHUNK_ACK key count", ErrBadFrame)
+	}
+	pos += k
+	keys = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var key []byte
+		if key, pos, err = takeBlob(p, pos); err != nil {
+			return 0, 0, 0, nil, fmt.Errorf("%w: CHUNK_ACK key %d", ErrBadFrame, i)
+		}
+		keys = append(keys, key)
+	}
+	if pos != len(p) {
+		return 0, 0, 0, nil, fmt.Errorf("%w: CHUNK_ACK trailing bytes", ErrBadFrame)
+	}
+	return chunkID, round, status, keys, nil
 }
 
 // seqPayload encodes the 8-byte seq payload of WELCOME and ACK frames.

@@ -104,15 +104,20 @@ func TestDeltaPayloadRoundTrip(t *testing.T) {
 
 // TestHelloRoundTrip checks the handshake payload codec.
 func TestHelloRoundTrip(t *testing.T) {
-	v, src, err := parseHello(helloPayload("src-a"))
+	v, base, src, err := parseHello(helloPayload("src-a", 42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != Version || src != "src-a" {
-		t.Fatalf("parsed version %d source %q", v, src)
+	if v != Version || src != "src-a" || base != 42 {
+		t.Fatalf("parsed version %d source %q base %d", v, src, base)
 	}
-	if _, _, err := parseHello([]byte{Version}); err == nil {
+	if _, _, _, err := parseHello([]byte{Version}); err == nil {
 		t.Fatal("empty source parsed successfully")
+	}
+	// A version-1 payload still parses (base 0) so the server can name
+	// the version mismatch in its REJECT.
+	if v1, b1, s1, err := parseHello(append([]byte{1}, "old"...)); err != nil || v1 != 1 || b1 != 0 || s1 != "old" {
+		t.Fatalf("v1 hello: %d %d %q %v", v1, b1, s1, err)
 	}
 	seq, err := parseSeq(seqPayload(1 << 40))
 	if err != nil || seq != 1<<40 {

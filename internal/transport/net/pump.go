@@ -1,0 +1,186 @@
+package netrepl
+
+import (
+	"net"
+	"time"
+)
+
+// Pump states: read the next chunk (or chase), wait for the high
+// watermark to resolve, await the replica's verdict.
+const (
+	pumpRead = iota
+	pumpWaitHigh
+	pumpAwaitAck
+	pumpDone
+)
+
+// bootWork is one table's remaining snapshot work.
+type bootWork struct {
+	table string
+	after []byte // resume after this encoded key; nil = from the start
+}
+
+// bootPump drives the source side of snapshot bootstrap inside the
+// shipper's connection loop: one chunk in flight at a time, each
+// bracketed low → read → high, with chase rounds re-reading exactly the
+// keys the replica invalidated. Every step is non-blocking — the
+// horizon wait is a poll, the chunk read is one short transaction — so
+// concurrent writers are never stalled and the delta stream keeps
+// flowing between steps.
+type bootPump struct {
+	sh    *Shipper
+	plan  []bootWork
+	state int
+
+	chunkID uint64
+	round   uint64
+
+	// Current chunk. A chase round keeps rows' provenance separate:
+	// chaseKeys are re-read in place of a range scan, while lastKey and
+	// final still describe the original chunk so the frame stays
+	// self-contained for the replica's progress record.
+	table     string
+	after     []byte
+	rows      [][]byte
+	lastKey   []byte
+	final     bool
+	chase     bool
+	chaseKeys [][]byte
+	low       uint64
+	fence     uint64
+	sentAt    time.Time
+	nextAt    time.Time
+}
+
+// newBootPump plans the remaining work from the replica's durable
+// progress: done tables are skipped entirely, an in-progress table
+// resumes after its last applied chunk key.
+func newBootPump(sh *Shipper, progress []BootstrapProgress) *bootPump {
+	prog := make(map[string]BootstrapProgress, len(progress))
+	for _, p := range progress {
+		prog[p.Table] = p
+	}
+	p := &bootPump{sh: sh, chunkID: 1, round: 1}
+	for _, table := range sh.cfg.Snapshot.TableList() {
+		pr, ok := prog[table]
+		if ok && pr.Done {
+			continue
+		}
+		p.plan = append(p.plan, bootWork{table: table, after: pr.LastKey})
+	}
+	if len(p.plan) == 0 {
+		p.state = pumpDone
+		sh.bootDone.Set(1)
+		return p
+	}
+	p.table = p.plan[0].table
+	p.after = p.plan[0].after
+	sh.bootDone.Set(0)
+	return p
+}
+
+// step advances the pump by at most one state transition. It reports
+// whether it wrote to the connection. Snapshot read errors are fatal
+// (they mean the source database refused a plain select); write errors
+// surface as errReconnect like every other send.
+func (p *bootPump) step(conn net.Conn, now time.Time) (sent bool, err error) {
+	snap := p.sh.cfg.Snapshot
+	switch p.state {
+	case pumpRead:
+		if now.Before(p.nextAt) {
+			return false, nil
+		}
+		// Low watermark first: every committed op ≤ low is visible to
+		// the read that follows.
+		p.low = snap.Low()
+		if p.chase {
+			p.rows, err = snap.ReadKeys(p.table, p.chaseKeys)
+		} else {
+			p.rows, p.lastKey, p.final, err = snap.ReadChunk(p.table, p.after)
+		}
+		if err != nil {
+			return false, err
+		}
+		// Fence after the read committed: once every op assigned by now
+		// has resolved, nothing that was visible to the read can still
+		// be in flight.
+		p.fence = snap.ReadFence()
+		conn.SetWriteDeadline(now.Add(p.sh.cfg.AckTimeout))
+		if err := WriteFrame(conn, FrameWatermark, 0, watermarkPayload(wmLow, p.chunkID, p.round, p.low)); err != nil {
+			return false, errReconnect
+		}
+		p.state = pumpWaitHigh
+		return true, nil
+
+	case pumpWaitHigh:
+		high, ok := snap.High(p.fence)
+		if !ok {
+			return false, nil // writers still resolving; poll again
+		}
+		flags := byte(0)
+		if p.final {
+			flags |= chunkFinal
+		}
+		if p.chase {
+			flags |= chunkChase
+		}
+		if p.final && len(p.plan) == 1 {
+			flags |= chunkRunDone
+		}
+		conn.SetWriteDeadline(now.Add(p.sh.cfg.AckTimeout))
+		if err := WriteFrame(conn, FrameSnapshotChunk, 0, chunkPayload(p.chunkID, p.round, flags, p.table, p.lastKey, p.rows)); err != nil {
+			return false, errReconnect
+		}
+		if err := WriteFrame(conn, FrameWatermark, 0, watermarkPayload(wmHigh, p.chunkID, p.round, high)); err != nil {
+			return false, errReconnect
+		}
+		p.sh.chunkRows.Add(uint64(len(p.rows)))
+		p.sentAt = now
+		p.state = pumpAwaitAck
+		return true, nil
+	}
+	return false, nil
+}
+
+// onAck applies the replica's verdict for the chunk round. Stale or
+// mismatched acks (duplicated frames, earlier rounds) are ignored.
+func (p *bootPump) onAck(chunkID, round uint64, status byte, keys [][]byte, now time.Time) {
+	if p.state != pumpAwaitAck || chunkID != p.chunkID || round != p.round {
+		return
+	}
+	if status == chunkResend {
+		// Chase: re-read exactly the invalidated keys under a fresh
+		// watermark window, same chunk, next round.
+		p.chaseKeys = make([][]byte, len(keys))
+		for i, k := range keys {
+			p.chaseKeys[i] = append([]byte(nil), k...)
+		}
+		p.chase = true
+		p.round++
+		p.sh.chunkChases.Inc()
+		p.state = pumpRead
+		return
+	}
+	p.sh.chunksSent.Inc()
+	if p.final {
+		p.plan = p.plan[1:]
+		if len(p.plan) == 0 {
+			p.state = pumpDone
+			p.sh.bootDone.Set(1)
+			return
+		}
+		p.table = p.plan[0].table
+		p.after = p.plan[0].after
+	} else {
+		p.after = p.lastKey
+	}
+	p.chunkID++
+	p.round = 1
+	p.chase = false
+	p.chaseKeys = nil
+	p.rows = nil
+	p.lastKey = nil
+	p.final = false
+	p.nextAt = now.Add(p.sh.cfg.Snapshot.ChunkDelay)
+	p.state = pumpRead
+}

@@ -35,6 +35,12 @@ type ServerConfig struct {
 	// on a topic (fresh ops only, dedup excluded). The server calls it
 	// from the connection's goroutine.
 	OnEnqueue func(source string, ops int)
+	// Bootstrap, when set, resolves the per-source snapshot-bootstrap
+	// coordinator; a HELLO whose source log base has advanced past the
+	// topic's durable seq then negotiates a bootstrap instead of being
+	// stuck with an unreplayable gap. Nil disables bootstrap (such a
+	// HELLO is rejected).
+	Bootstrap func(source string) (*Bootstrapper, error)
 	// UnsafeAcceptOutOfOrder disables the DELTA chain check (prevSeq
 	// must equal the topic watermark). With it off, a reordered batch
 	// advances the watermark past ops that never arrived and the skipped
@@ -215,30 +221,66 @@ func (s *Server) Serve(lis net.Listener) error {
 // then DELTA→ACK and heartbeat echo until the stream ends.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	// All writes go through one mutex-guarded sender: the handler loop
+	// (acks, heartbeat echoes) and the bootstrapper (chunk verdicts,
+	// pushed from the applier goroutine) share the connection, and each
+	// frame must stay a single Write call.
+	var sendMu sync.Mutex
+	send := func(typ, flags byte, payload []byte) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.Lease))
+		return WriteFrame(conn, typ, flags, payload)
+	}
 	conn.SetReadDeadline(time.Now().Add(s.cfg.Lease))
 	typ, _, payload, err := ReadFrame(conn)
 	if err != nil || typ != FrameHello {
 		s.badFrames.Inc()
 		return
 	}
-	version, source, err := parseHello(payload)
+	version, base, source, err := parseHello(payload)
 	if err != nil || source == "" || version != Version {
 		reason := fmt.Sprintf("unsupported version %d (want %d)", version, Version)
 		if err != nil || source == "" {
 			reason = "missing source id"
 		}
 		s.rejects.Inc()
-		WriteFrame(conn, FrameReject, 0, []byte(reason))
+		send(FrameReject, 0, []byte(reason))
 		return
 	}
 	topic, err := s.Topic(source)
 	if err != nil {
 		s.rejects.Inc()
-		WriteFrame(conn, FrameReject, 0, []byte(err.Error()))
+		send(FrameReject, 0, []byte(err.Error()))
+		return
+	}
+	mode := ModeStream
+	var progress []BootstrapProgress
+	var boot *Bootstrapper
+	if s.cfg.Bootstrap != nil {
+		if boot, err = s.cfg.Bootstrap(source); err != nil {
+			s.rejects.Inc()
+			send(FrameReject, 0, []byte(err.Error()))
+			return
+		}
+	}
+	if boot != nil {
+		mode, progress, err = boot.Handshake(base, topic.LastSeq(), send)
+		if err != nil {
+			s.rejects.Inc()
+			send(FrameReject, 0, []byte(err.Error()))
+			return
+		}
+	} else if base > topic.LastSeq() {
+		// Ops (LastSeq, base] are gone from the source log and this
+		// server cannot bootstrap: accepting the stream would leave a
+		// silent gap in the replica.
+		s.rejects.Inc()
+		send(FrameReject, 0, []byte("snapshot bootstrap required but not enabled"))
 		return
 	}
 	s.connects.Inc()
-	if err := WriteFrame(conn, FrameWelcome, 0, seqPayload(topic.LastSeq())); err != nil {
+	if err := send(FrameWelcome, 0, welcomePayload(topic.LastSeq(), mode, progress)); err != nil {
 		return
 	}
 	for {
@@ -259,11 +301,23 @@ func (s *Server) handle(conn net.Conn) {
 				s.badFrames.Inc()
 				return
 			}
-			if err := WriteFrame(conn, FrameAck, 0, seqPayload(ack)); err != nil {
+			if err := send(FrameAck, 0, seqPayload(ack)); err != nil {
+				return
+			}
+		case FrameWatermark, FrameSnapshotChunk:
+			if boot == nil {
+				s.badFrames.Inc()
+				return
+			}
+			// Buffer only: reconciliation runs on the applier goroutine
+			// (Observe/Poll), serialized against delta application. The
+			// verdict is pushed later through send as a CHUNK_ACK.
+			if err := boot.Deliver(typ, payload); err != nil {
+				s.badFrames.Inc()
 				return
 			}
 		case FrameHeartbeat:
-			if err := WriteFrame(conn, FrameHeartbeat, FlagReply, nil); err != nil {
+			if err := send(FrameHeartbeat, FlagReply, nil); err != nil {
 				return
 			}
 		case FrameShutdown:

@@ -29,6 +29,11 @@ type ShipperConfig struct {
 	SchemaOf func(table string) (*catalog.Schema, error)
 	// Obs receives the shipper's metrics; nil keeps a private registry.
 	Obs *obs.Registry
+	// Snapshot, when set, lets the server negotiate a snapshot
+	// bootstrap (ModeBootstrap in WELCOME): the shipper then interleaves
+	// watermark-bracketed chunk reads with the live delta stream,
+	// never pausing either. Nil ships deltas only.
+	Snapshot *opdelta.Snapshotter
 
 	// BatchOps bounds ops per DELTA frame. Default 64.
 	BatchOps int
@@ -43,6 +48,11 @@ type ShipperConfig struct {
 	// or ACK frame would otherwise stall the window forever: resend
 	// happens only on reconnect). Default 2s.
 	AckTimeout time.Duration
+	// ChunkAckTimeout bounds how long a snapshot chunk may await its
+	// CHUNK_ACK. Longer than AckTimeout because the verdict waits for
+	// the replica's applied cursor to pass the chunk's high watermark.
+	// Default 4×AckTimeout.
+	ChunkAckTimeout time.Duration
 	// HeartbeatEvery is the idle probe interval; the server's echo
 	// proves the connection alive with no data to ship. Default
 	// AckTimeout/2.
@@ -64,6 +74,9 @@ func (c ShipperConfig) withDefaults() ShipperConfig {
 	}
 	if c.AckTimeout <= 0 {
 		c.AckTimeout = 2 * time.Second
+	}
+	if c.ChunkAckTimeout <= 0 {
+		c.ChunkAckTimeout = 4 * c.AckTimeout
 	}
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = c.AckTimeout / 2
@@ -96,6 +109,10 @@ type Shipper struct {
 	ackedGauge   *obs.Gauge
 	rttSeconds   *obs.Histogram
 	redeliverAge *obs.Histogram
+	chunksSent   *obs.Counter
+	chunkRows    *obs.Counter
+	chunkChases  *obs.Counter
+	bootDone     *obs.Gauge
 }
 
 // NewShipper creates a shipper; Run starts it.
@@ -113,6 +130,10 @@ func NewShipper(cfg ShipperConfig) *Shipper {
 	sh.ackedGauge = reg.Gauge("netrepl_shipper_acked_seq", l)
 	sh.rttSeconds = reg.Histogram("netrepl_shipper_rtt_seconds", obs.DurationBuckets, l)
 	sh.redeliverAge = reg.Histogram("netrepl_shipper_redelivery_seconds", obs.DurationBuckets, l)
+	sh.chunksSent = reg.Counter("netrepl_shipper_chunks_sent_total", l)
+	sh.chunkRows = reg.Counter("netrepl_shipper_chunk_rows_sent_total", l)
+	sh.chunkChases = reg.Counter("netrepl_shipper_chunk_chases_total", l)
+	sh.bootDone = reg.Gauge("netrepl_shipper_bootstrap_done", l)
 	return sh
 }
 
@@ -172,7 +193,11 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(sh.cfg.AckTimeout))
-	if err := WriteFrame(conn, FrameHello, 0, helloPayload(sh.cfg.Source)); err != nil {
+	var base uint64
+	if sh.cfg.Snapshot != nil {
+		base = sh.cfg.Snapshot.Log.Base()
+	}
+	if err := WriteFrame(conn, FrameHello, 0, helloPayload(sh.cfg.Source, base)); err != nil {
 		return errReconnect
 	}
 	typ, _, payload, err := ReadFrame(conn)
@@ -188,9 +213,16 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 	default:
 		return errReconnect
 	}
-	resume, err := parseSeq(payload)
+	resume, mode, progress, err := parseWelcome(payload)
 	if err != nil {
 		return errReconnect
+	}
+	var pump *bootPump
+	if mode == ModeBootstrap {
+		if sh.cfg.Snapshot == nil {
+			return fmt.Errorf("netrepl: server negotiated bootstrap but shipper %s has no Snapshotter", sh.cfg.Source)
+		}
+		pump = newBootPump(sh, progress)
 	}
 	// The server's durable seq is authoritative: it may be ahead of our
 	// last ack (the ACK frame was lost) — never behind it, because acks
@@ -284,6 +316,20 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 			}
 		}
 
+		// Advance the snapshot pump: at most one chunk in flight, read
+		// and sent from this goroutine so the connection has a single
+		// writer, interleaved with the delta window so bootstrap never
+		// pauses the live stream (and the stream never pauses bootstrap).
+		if pump != nil && !stopping {
+			sent, err := pump.step(conn, time.Now())
+			if err != nil {
+				return err
+			}
+			if sent {
+				lastSent = time.Now()
+			}
+		}
+
 		// Idle liveness: probe with a heartbeat, and if nothing at all has
 		// arrived for an ack-timeout span, presume the connection dead.
 		now := time.Now()
@@ -301,6 +347,11 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 			return errReconnect
 		}
 		if now.Sub(lastRecv) > 2*sh.cfg.AckTimeout {
+			return errReconnect
+		}
+		if pump != nil && pump.state == pumpAwaitAck && now.Sub(pump.sentAt) > sh.cfg.ChunkAckTimeout {
+			// The chunk's verdict never came (lost frame, or a wedged
+			// replica): reconnect and resume from durable progress.
 			return errReconnect
 		}
 
@@ -335,6 +386,14 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 				pending = pending[1:]
 			}
 			sh.inflight.Set(int64(len(pending)))
+		case FrameChunkAck:
+			chunkID, round, status, keys, err := parseChunkAck(payload)
+			if err != nil {
+				return errReconnect
+			}
+			if pump != nil {
+				pump.onAck(chunkID, round, status, keys, lastRecv)
+			}
 		case FrameHeartbeat:
 			// Echo received: lastRecv already refreshed.
 		case FrameBusy, FrameShutdown:

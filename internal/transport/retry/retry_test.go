@@ -96,3 +96,116 @@ func TestZeroValue(t *testing.T) {
 		t.Errorf("zero-value first delay = %v, want (0, 50ms]", d)
 	}
 }
+
+// TestDelaySweep sweeps the un-jittered schedule across policy shapes
+// and attempt counts, pinning the properties every retry loop leans on:
+// the schedule is monotone non-decreasing, below the cap it equals
+// Base·Multiplier^n exactly, and from the first saturated attempt on it
+// is the cap forever — including the exact-boundary policy where growth
+// lands on Cap without overshooting, the degenerate Cap < Base policy,
+// and a constant (Multiplier 1) policy that must never saturate.
+func TestDelaySweep(t *testing.T) {
+	cases := []struct {
+		name   string
+		p      Policy
+		satIdx int // first 0-based attempt returning Cap; -1 = never
+	}{
+		{"doubling", Policy{Base: 10 * time.Millisecond, Cap: 5 * time.Second, Multiplier: 2, Jitter: -1}, 9},
+		{"exact-boundary", Policy{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond, Multiplier: 2, Jitter: -1}, 2},
+		{"overshoot", Policy{Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond, Multiplier: 3, Jitter: -1}, 2},
+		{"fractional-multiplier", Policy{Base: 100 * time.Millisecond, Cap: time.Second, Multiplier: 1.5, Jitter: -1}, 6},
+		{"cap-below-base", Policy{Base: 100 * time.Millisecond, Cap: 10 * time.Millisecond, Multiplier: 2, Jitter: -1}, 0},
+		{"cap-equals-base", Policy{Base: 25 * time.Millisecond, Cap: 25 * time.Millisecond, Multiplier: 2, Jitter: -1}, 0},
+		{"constant", Policy{Base: 30 * time.Millisecond, Cap: time.Second, Multiplier: 1, Jitter: -1}, -1},
+	}
+	const attempts = 200
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.p
+			prev := time.Duration(-1)
+			exact := float64(p.Base)
+			for n := 0; n < attempts; n++ {
+				d := p.Delay(n)
+				if d < prev {
+					t.Fatalf("Delay(%d) = %v < Delay(%d) = %v; schedule not monotone", n, d, n-1, prev)
+				}
+				prev = d
+				switch {
+				case tc.satIdx >= 0 && n >= tc.satIdx:
+					if d != p.Cap {
+						t.Fatalf("Delay(%d) = %v, want cap %v from attempt %d on", n, d, p.Cap, tc.satIdx)
+					}
+				default:
+					if d == p.Cap && tc.satIdx == -1 {
+						t.Fatalf("Delay(%d) saturated at %v; a Multiplier-1 schedule must stay at Base", n, d)
+					}
+					if want := time.Duration(exact); d != want {
+						t.Fatalf("Delay(%d) = %v, want exact %v below the cap", n, d, want)
+					}
+				}
+				if exact < float64(p.Cap) {
+					exact *= p.Multiplier
+				}
+			}
+		})
+	}
+}
+
+// TestJitterEnvelopeSweep sweeps jitter fractions across a long
+// attempt run and checks every jittered delay lies in the documented
+// envelope [d·(1-Jitter), d] of the un-jittered schedule — including
+// deep cap saturation, where the envelope floor must stay at
+// Cap·(1-Jitter) rather than keep shrinking, and full jitter
+// (Jitter 1, envelope [0, d]) and a beyond-range value that must clamp
+// to 1 rather than go negative.
+func TestJitterEnvelopeSweep(t *testing.T) {
+	base := Policy{Base: 5 * time.Millisecond, Cap: 80 * time.Millisecond, Multiplier: 2}
+	for _, jitter := range []float64{0.25, 0.5, 0.9, 1, 2.5} {
+		eff := jitter
+		if eff > 1 {
+			eff = 1
+		}
+		p := base
+		p.Jitter = jitter
+		b := &Backoff{P: p, Rand: rand.New(rand.NewSource(int64(jitter * 1000)))}
+		sawBelowFull := false
+		for n := 0; n < 128; n++ {
+			d := b.Next()
+			full := p.Delay(n)
+			lo := time.Duration(float64(full) * (1 - eff))
+			if d < lo || d > full {
+				t.Fatalf("jitter %v attempt %d: delay %v outside [%v, %v]", jitter, n, d, lo, full)
+			}
+			if d < full {
+				sawBelowFull = true
+			}
+		}
+		if !sawBelowFull {
+			t.Errorf("jitter %v: 128 attempts all at the full delay; jitter is inert", jitter)
+		}
+		if b.Attempt() != 128 {
+			t.Errorf("jitter %v: Attempt() = %d, want 128", jitter, b.Attempt())
+		}
+	}
+}
+
+// TestResetMidSaturation: a Reset deep into cap saturation must drop
+// the very next delay back inside the Base envelope, not leave it at
+// the cap — the recovery property after a successful reconnect.
+func TestResetMidSaturation(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Multiplier: 2, Jitter: 0.5}
+	b := &Backoff{P: p, Rand: rand.New(rand.NewSource(3)), Sleep: func(time.Duration) {}}
+	for i := 0; i < 40; i++ {
+		b.Wait()
+	}
+	if d := b.Next(); d > p.Cap || d < p.Cap/2 {
+		t.Fatalf("saturated delay %v outside [%v, %v]", d, p.Cap/2, p.Cap)
+	}
+	b.Reset()
+	if d := b.Next(); d > p.Base {
+		t.Fatalf("post-Reset delay %v exceeds Base %v", d, p.Base)
+	}
+	if b.Attempt() != 1 {
+		t.Fatalf("Attempt() after Reset+Next = %d, want 1", b.Attempt())
+	}
+}

@@ -1,0 +1,248 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/engine"
+	"opdelta/internal/sqlmini"
+)
+
+// BootstrapLogName is the warehouse table recording snapshot-bootstrap
+// progress, next to the AppliedLog.
+const BootstrapLogName = "opdelta__bootstrap"
+
+// metaRow keys the run-level row of the bootstrap log. The NUL prefix
+// keeps it out of any real table namespace.
+const metaRow = "\x00run"
+
+// BootstrapLog makes snapshot bootstrap resumable: one row per
+// bootstrapped table (last applied chunk boundary, or done) plus a meta
+// row for the run (the source log base it covers, and whether the run
+// finished). Rows are written in the same transaction as the chunk's
+// rows, so a killed replica resumes exactly after its last durable
+// chunk instead of restarting the snapshot.
+type BootstrapLog struct {
+	W *Warehouse
+}
+
+// Progress is one table's durable bootstrap position.
+type Progress struct {
+	Table string
+	Done  bool
+	// LastKey is the encoded PK the next chunk resumes after; nil means
+	// the table has not produced a durable chunk yet.
+	LastKey []byte
+}
+
+// Meta is the run-level bootstrap state.
+type Meta struct {
+	Exists bool
+	Done   bool
+	// Base is the source log truncation base the run was started
+	// against; a HELLO advertising a different base invalidates the run.
+	Base uint64
+}
+
+func bootstrapLogSchema() *catalog.Schema {
+	return catalog.NewSchema(
+		catalog.Column{Name: "b_table", Type: catalog.TypeString, NotNull: true},
+		catalog.Column{Name: "b_state", Type: catalog.TypeInt64, NotNull: true},
+		catalog.Column{Name: "b_key", Type: catalog.TypeBytes},
+		catalog.Column{Name: "b_base", Type: catalog.TypeInt64, NotNull: true},
+	)
+}
+
+// EnsureBootstrapLog creates (if needed) the bootstrap-progress table
+// and returns the log.
+func EnsureBootstrapLog(w *Warehouse) (*BootstrapLog, error) {
+	if _, err := w.DB.Table(BootstrapLogName); err != nil {
+		if _, err := w.DB.CreateTable(engine.TableDef{
+			Name: BootstrapLogName, Schema: bootstrapLogSchema(), PrimaryKey: "b_table",
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &BootstrapLog{W: w}, nil
+}
+
+// Meta reads the run-level row.
+func (b *BootstrapLog) Meta() (Meta, error) {
+	var m Meta
+	err := b.W.DB.ScanTable(nil, BootstrapLogName, func(row catalog.Tuple) error {
+		if row[0].Str() != metaRow {
+			return nil
+		}
+		m.Exists = true
+		m.Done = row[1].Int() == 1
+		m.Base = uint64(row[3].Int())
+		return nil
+	})
+	return m, err
+}
+
+// Progress reads the per-table rows, sorted by table name.
+func (b *BootstrapLog) Progress() ([]Progress, error) {
+	var out []Progress
+	err := b.W.DB.ScanTable(nil, BootstrapLogName, func(row catalog.Tuple) error {
+		if row[0].Str() == metaRow {
+			return nil
+		}
+		p := Progress{Table: row[0].Str(), Done: row[1].Int() == 1}
+		if !row[2].IsNull() {
+			if k := row[2].BytesVal(); len(k) > 0 {
+				p.LastKey = append([]byte(nil), k...)
+			}
+		}
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out, nil
+}
+
+// StartRun resets the log for a fresh bootstrap against the given
+// source base: all prior rows are deleted and a new not-done meta row
+// written, in one transaction. Per-table rows appear as chunks land.
+func (b *BootstrapLog) StartRun(base uint64) error {
+	tx := b.W.DB.Begin()
+	defer tx.Abort()
+	if err := tx.LockTablesExclusive(BootstrapLogName); err != nil {
+		return err
+	}
+	if _, err := b.W.DB.ExecStmt(tx, &sqlmini.Delete{Table: BootstrapLogName}); err != nil {
+		return err
+	}
+	row := catalog.Tuple{
+		catalog.NewString(metaRow), catalog.NewInt(0),
+		catalog.NewNull(catalog.TypeBytes), catalog.NewInt(int64(base)),
+	}
+	if err := b.W.DB.InsertTuple(tx, BootstrapLogName, row); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// ApplyChunk lands one reconciled chunk atomically: the surviving rows
+// upserted into table, the table's progress row advanced (lastKey, or
+// done), and — when this was the run's last chunk — the meta row marked
+// done, all in one transaction. If the table has no progress row yet
+// (first chunk of a fresh run), its existing rows are cleared first —
+// except those whose primary key the keep predicate claims — so a
+// re-bootstrap of a stale replica converges to source state without
+// wiping rows that live deltas already wrote during this run (a delta
+// row beyond the final chunk's range would never be re-sent: the
+// applied log dedups its op, and the snapshot read may predate it).
+//
+// Locks are pre-declared table-exclusive in sorted order, the same
+// discipline the parallel integrator uses, so a chunk apply cannot
+// deadlock against a concurrently scheduled delta group.
+func (b *BootstrapLog) ApplyChunk(table string, rows []catalog.Tuple, lastKey []byte, keep func(pk catalog.Value) bool, tableDone, runDone bool) error {
+	tbl, err := b.W.DB.Table(table)
+	if err != nil {
+		return err
+	}
+	if tbl.PKCol < 0 {
+		return fmt.Errorf("warehouse: bootstrap chunk for %q requires a primary key", table)
+	}
+	pkName := tbl.Schema.Column(tbl.PKCol).Name
+	locks := []string{table, BootstrapLogName}
+	sort.Strings(locks)
+	tx := b.W.DB.Begin()
+	defer tx.Abort()
+	if err := tx.LockTablesExclusive(locks...); err != nil {
+		return err
+	}
+	first := true
+	_, err = b.W.DB.IterateSelect(tx, &sqlmini.Select{
+		Table: BootstrapLogName,
+		Where: &sqlmini.Binary{Op: sqlmini.OpEq,
+			L: &sqlmini.ColRef{Name: "b_table"},
+			R: &sqlmini.Literal{Val: catalog.NewString(table)}},
+	}, func(catalog.Tuple) error {
+		first = false
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if first {
+		var stale []catalog.Value
+		if err := b.W.DB.ScanTable(tx, table, func(row catalog.Tuple) error {
+			if keep == nil || !keep(row[tbl.PKCol]) {
+				stale = append(stale, row[tbl.PKCol])
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, pk := range stale {
+			del := &sqlmini.Delete{Table: table, Where: &sqlmini.Binary{Op: sqlmini.OpEq,
+				L: &sqlmini.ColRef{Name: pkName}, R: &sqlmini.Literal{Val: pk}}}
+			if _, err := b.W.DB.ExecStmt(tx, del); err != nil {
+				return err
+			}
+		}
+	}
+	for _, row := range rows {
+		del := &sqlmini.Delete{Table: table, Where: &sqlmini.Binary{Op: sqlmini.OpEq,
+			L: &sqlmini.ColRef{Name: pkName}, R: &sqlmini.Literal{Val: row[tbl.PKCol]}}}
+		if _, err := b.W.DB.ExecStmt(tx, del); err != nil {
+			return err
+		}
+		if err := b.W.DB.InsertTuple(tx, table, row); err != nil {
+			return err
+		}
+	}
+	state := int64(0)
+	if tableDone {
+		state = 1
+	}
+	key := catalog.NewNull(catalog.TypeBytes)
+	if len(lastKey) > 0 {
+		key = catalog.NewBytes(lastKey)
+	}
+	if !first {
+		del := &sqlmini.Delete{Table: BootstrapLogName, Where: &sqlmini.Binary{Op: sqlmini.OpEq,
+			L: &sqlmini.ColRef{Name: "b_table"}, R: &sqlmini.Literal{Val: catalog.NewString(table)}}}
+		if _, err := b.W.DB.ExecStmt(tx, del); err != nil {
+			return err
+		}
+	}
+	row := catalog.Tuple{catalog.NewString(table), catalog.NewInt(state), key, catalog.NewInt(0)}
+	if err := b.W.DB.InsertTuple(tx, BootstrapLogName, row); err != nil {
+		return err
+	}
+	if runDone {
+		m, base := int64(1), int64(0)
+		_, err := b.W.DB.IterateSelect(tx, &sqlmini.Select{
+			Table: BootstrapLogName,
+			Where: &sqlmini.Binary{Op: sqlmini.OpEq,
+				L: &sqlmini.ColRef{Name: "b_table"},
+				R: &sqlmini.Literal{Val: catalog.NewString(metaRow)}},
+		}, func(r catalog.Tuple) error {
+			base = r[3].Int()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		del := &sqlmini.Delete{Table: BootstrapLogName, Where: &sqlmini.Binary{Op: sqlmini.OpEq,
+			L: &sqlmini.ColRef{Name: "b_table"}, R: &sqlmini.Literal{Val: catalog.NewString(metaRow)}}}
+		if _, err := b.W.DB.ExecStmt(tx, del); err != nil {
+			return err
+		}
+		meta := catalog.Tuple{
+			catalog.NewString(metaRow), catalog.NewInt(m),
+			catalog.NewNull(catalog.TypeBytes), catalog.NewInt(base),
+		}
+		if err := b.W.DB.InsertTuple(tx, BootstrapLogName, meta); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}
