@@ -137,6 +137,10 @@ func measureTxn(db *engine.DB, cfg *Config, kind txnKind, k int, base execFunc, 
 				return 0, 0, err
 			}
 		}
+		// Drain MVCC versions between reps (untimed): the run+restore
+		// writes would otherwise push the population over the GC
+		// threshold and incremental GC would fire inside timed txns.
+		db.VersionGC()
 	}
 	return median(baseSamples), median(instrSamples), nil
 }
@@ -148,7 +152,7 @@ func effectiveRepeats(cfg *Config, k int) int {
 	if k <= 100 {
 		reps = cfg.Repeats * 5
 	} else if k <= 1000 {
-		reps = cfg.Repeats * 2
+		reps = cfg.Repeats * 4
 	}
 	return reps
 }
@@ -272,6 +276,7 @@ func measureTxnTrigger(db *engine.DB, cfg *Config, cap *extract.TriggerCapture, 
 		if _, err := cap.Extract(&extract.CountSink{}); err != nil {
 			return 0, 0, err
 		}
+		db.VersionGC() // keep version GC out of the timed txns
 	}
 	return median(baseSamples), median(instrSamples), nil
 }

@@ -230,13 +230,14 @@ func RunConcurrent(cfg Config) (*Result, error) {
 		ID:       "e9-online",
 		Title:    "OLAP query latency during integration (§4.1 on-line maintenance)",
 		Unit:     "ms",
-		ColHeads: []string{"integration window", "max reader latency", "reader queries served", "speedup vs serial", "applier lock wait ms", "applier lock waits"},
+		ColHeads: []string{"integration window", "max reader latency", "reader queries served", "speedup vs serial", "applier lock wait ms", "applier lock waits", "reader lock wait ms", "reader lock acquires"},
 		RowHeads: []string{"ValueDelta batch", "OpDelta per-txn"},
 		Notes: []string{
 			"value-delta integration is one exclusive batch: readers stall for the whole window",
 			"parallel rows: conflict-aware DAG scheduling + WAL group commit; speedup is serial Op-Delta window / row window",
 			"parallel rows pre-declare key-range locks so key-disjoint appliers overlap execution; table-lock rows force the whole-table baseline",
 			"applier lock wait ms / waits: blocked time and blocked acquisitions of write-mode requests (readers excluded)",
+			"reader lock wait ms / acquires: blocked time and granted read-mode requests; snapshot rows run readers on MVCC commit-LSN snapshots and must show zero of both",
 		},
 	}
 	for _, wk := range workerSweep {
@@ -244,6 +245,10 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	}
 	for _, wk := range tableLockSweep {
 		res.RowHeads = append(res.RowHeads, fmt.Sprintf("OpDelta parallel table-lock w=%d", wk))
+	}
+	snapshotSweep := []int{1, 4}
+	for _, wk := range snapshotSweep {
+		res.RowHeads = append(res.RowHeads, fmt.Sprintf("OpDelta parallel snapshot-read w=%d", wk))
 	}
 	res.Values = make([][]float64, len(res.RowHeads))
 
@@ -282,13 +287,15 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	}
 
 	type outcome struct {
-		window   time.Duration
-		maxLat   time.Duration
-		served   int
-		lockWait time.Duration
-		waits    uint64
+		window     time.Duration
+		maxLat     time.Duration
+		served     int
+		lockWait   time.Duration
+		waits      uint64
+		readerWait time.Duration
+		readAcqs   uint64
 	}
-	runWith := func(name string, integrate func(w *warehouse.Warehouse) (warehouse.ApplyStats, error)) (*outcome, error) {
+	runWith := func(name string, snapshotReaders bool, integrate func(w *warehouse.Warehouse) (warehouse.ApplyStats, error)) (*outcome, error) {
 		w, err := newReplicaWarehouse(&cfg, name)
 		if err != nil {
 			return nil, err
@@ -323,8 +330,19 @@ func RunConcurrent(cfg Config) (*Result, error) {
 					first := int64((pos * stripe) % cfg.TableRows)
 					pos++
 					q0 := time.Now()
-					if _, _, err := w.DB.Query(nil, workload.StripeScanStatement(first, stripe)); err != nil {
-						if !errors.Is(err, txn.ErrLockTimeout) {
+					var qerr error
+					if snapshotReaders {
+						// Lock-free MVCC read: pin the durable commit horizon
+						// and resolve rows through version chains. Never enters
+						// the lock manager, so appliers cannot stall it.
+						stx := w.DB.BeginSnapshot()
+						_, _, qerr = w.DB.Query(stx, workload.StripeScanStatement(first, stripe))
+						stx.Commit()
+					} else {
+						_, _, qerr = w.DB.Query(nil, workload.StripeScanStatement(first, stripe))
+					}
+					if qerr != nil {
+						if !errors.Is(qerr, txn.ErrLockTimeout) {
 							return
 						}
 						// A reader starved past the lock timeout IS a stall
@@ -357,18 +375,20 @@ func RunConcurrent(cfg Config) (*Result, error) {
 		for _, ls := range w.DB.LockTableStats() {
 			out.lockWait += ls.WriteWaitTime
 			out.waits += ls.WriteWaits
+			out.readerWait += ls.WaitTime - ls.WriteWaitTime
+			out.readAcqs += ls.ReadAcquires
 		}
 		return out, nil
 	}
 
-	vOut, err := runWith("e9-wv", func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+	vOut, err := runWith("e9-wv", false, func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
 		return (&warehouse.ValueDeltaIntegrator{W: w}).Apply(sink.Deltas)
 	})
 	if err != nil {
 		return nil, err
 	}
 	tracer := newBenchTracer(&cfg)
-	oOut, err := runWith("e9-wo", func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+	oOut, err := runWith("e9-wo", false, func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
 		traceOps(tracer, ops)
 		return (&warehouse.OpDeltaIntegrator{W: w, GroupByTxn: true}).Apply(ops)
 	})
@@ -378,7 +398,7 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	outs := []*outcome{vOut, oOut}
 	for _, wk := range workerSweep {
 		wk := wk
-		pOut, err := runWith(fmt.Sprintf("e9-wp%d", wk), func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+		pOut, err := runWith(fmt.Sprintf("e9-wp%d", wk), false, func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
 			traceOps(tracer, ops)
 			return (&warehouse.ParallelIntegrator{W: w, Workers: wk}).Apply(ops)
 		})
@@ -389,9 +409,20 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	}
 	for _, wk := range tableLockSweep {
 		wk := wk
-		pOut, err := runWith(fmt.Sprintf("e9-wt%d", wk), func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+		pOut, err := runWith(fmt.Sprintf("e9-wt%d", wk), false, func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
 			traceOps(tracer, ops)
 			return (&warehouse.ParallelIntegrator{W: w, Workers: wk, TableLocks: true}).Apply(ops)
+		})
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, pOut)
+	}
+	for _, wk := range snapshotSweep {
+		wk := wk
+		pOut, err := runWith(fmt.Sprintf("e9-ws%d", wk), true, func(w *warehouse.Warehouse) (warehouse.ApplyStats, error) {
+			traceOps(tracer, ops)
+			return (&warehouse.ParallelIntegrator{W: w, Workers: wk}).Apply(ops)
 		})
 		if err != nil {
 			return nil, err
@@ -402,7 +433,7 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	for i, out := range outs {
 		speedup := float64(oOut.window) / float64(out.window)
 		res.Values[i] = []float64{ms(out.window), ms(out.maxLat), float64(out.served), speedup,
-			ms(out.lockWait), float64(out.waits)}
+			ms(out.lockWait), float64(out.waits), ms(out.readerWait), float64(out.readAcqs)}
 	}
 	return res, nil
 }

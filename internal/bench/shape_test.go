@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -239,6 +240,21 @@ func TestShapeConcurrent(t *testing.T) {
 	vWin := res.Get("ValueDelta batch", "integration window")
 	if vMax < vWin/3 {
 		t.Errorf("readers should stall for most of the batch window: maxLat=%.1fms window=%.1fms", vMax, vWin)
+	}
+	// MVCC snapshot readers must never enter the lock manager: zero
+	// blocked time and zero read-mode grants, while the table-lock
+	// baseline readers queue behind every applier commit.
+	for _, w := range []int{1, 4} {
+		row := fmt.Sprintf("OpDelta parallel snapshot-read w=%d", w)
+		if acq := res.Get(row, "reader lock acquires"); acq != 0 {
+			t.Errorf("%s: reader lock acquires = %.0f, want 0", row, acq)
+		}
+		if wait := res.Get(row, "reader lock wait ms"); wait != 0 {
+			t.Errorf("%s: reader lock wait = %.1fms, want 0", row, wait)
+		}
+	}
+	if acq := res.Get("OpDelta parallel table-lock w=4", "reader lock acquires"); acq == 0 {
+		t.Errorf("table-lock baseline readers acquired no locks; the contrast row is inert")
 	}
 }
 

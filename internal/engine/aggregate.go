@@ -62,7 +62,7 @@ func (db *DB) queryAggregate(tx *Tx, sel *sqlmini.Select) (*catalog.Schema, []ca
 	// Scan and fold.
 	groups := map[string]*aggState{}
 	var keys []catalog.Value
-	baseSel := &sqlmini.Select{Table: sel.Table, Where: sel.Where}
+	baseSel := &sqlmini.Select{Table: sel.Table, Where: sel.Where, AsOf: sel.AsOf}
 	if _, err := db.IterateSelect(tx, baseSel, func(row catalog.Tuple) error {
 		key := ""
 		var keyVal catalog.Value

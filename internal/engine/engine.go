@@ -44,6 +44,12 @@ type Options struct {
 	Now func() time.Time
 	// LockTimeout bounds lock waits. Default 10s.
 	LockTimeout time.Duration
+	// DeadlockProbe is the waits-for probe interval during blocked lock
+	// waits: a blocked transaction re-runs the cycle classifier at this
+	// cadence and aborts itself in milliseconds when it sits on a cycle,
+	// instead of burning the full LockTimeout. Zero means the 50ms
+	// default; negative disables probing (deadline backstop only).
+	DeadlockProbe time.Duration
 	// FS routes all engine file I/O (heap files, WAL, catalog); nil
 	// means the real filesystem. The fault-injection harness substitutes
 	// a fault.SimFS here to crash and recover the whole engine in-process.
@@ -81,6 +87,9 @@ type DB struct {
 	obs       *obs.Registry
 	obsLabels []obs.Label
 
+	mvcc mvccState
+	vm   *storage.VersionMetrics
+
 	mu     sync.RWMutex // guards tables map and table metadata
 	tables map[string]*Table
 
@@ -97,7 +106,8 @@ type Table struct {
 	PKCol  int // index of primary key column, -1 if none
 	TSCol  int // index of engine-maintained timestamp column, -1 if none
 
-	heap *storage.HeapFile
+	heap   *storage.HeapFile
+	vstore *storage.VersionStore // tuple version chains for snapshot reads
 
 	idxMu sync.RWMutex
 	pk    *btree      // unique ordered index on the PK column; nil when PKCol < 0
@@ -153,10 +163,20 @@ func Open(dir string, opts Options) (*DB, error) {
 		fs:        fsys,
 		wal:       w,
 		locks:     txn.NewLockManagerObs(opts.LockTimeout, reg, labels...),
+		vm:        storage.NewVersionMetrics(reg, labels...),
 		tables:    make(map[string]*Table),
 		obs:       reg,
 		obsLabels: labels,
 	}
+	probe := opts.DeadlockProbe
+	if probe == 0 {
+		probe = 50 * time.Millisecond
+	}
+	db.locks.SetDeadlockProbe(probe)
+	db.mvcc.snaps = txn.NewSnapshotRegistry(opts.Now)
+	reg.GaugeFunc("mvcc_oldest_snapshot_age_seconds", func() float64 {
+		return db.mvcc.snaps.OldestAge().Seconds()
+	}, labels...)
 	if err := db.loadCatalog(); err != nil {
 		w.Close()
 		return nil, err
@@ -168,6 +188,11 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.txns = txn.NewManager(txn.ID(maxTxn))
+	// Every commit recovery replayed is fully settled; the version store
+	// is memory-only and rebuilds empty, so the same point is also the
+	// floor below which AS OF reads have no history to consult.
+	db.mvcc.visible = uint64(w.NextLSN()) - 1
+	db.mvcc.lowWater = db.mvcc.visible
 	for _, t := range db.tables {
 		if err := t.rebuildIndex(); err != nil {
 			db.closeTables()
@@ -326,6 +351,7 @@ func (db *DB) openTable(m tableMeta) (*Table, error) {
 		obs.L("pool", strings.ToLower(m.Name)))
 	heap.Pool().RegisterObs(db.obs, poolLabels...)
 	t.heap = heap
+	t.vstore = storage.NewVersionStore(db.vm)
 	return t, nil
 }
 
@@ -420,10 +446,12 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	tables := make([]*Table, 0, len(db.tables))
 	for _, t := range db.tables {
 		if err := t.heap.Flush(); err != nil {
 			return err
 		}
+		tables = append(tables, t)
 	}
 	if _, err := db.wal.Append(&wal.Record{Type: wal.RecCheckpoint}); err != nil {
 		return err
@@ -431,6 +459,11 @@ func (db *DB) Checkpoint() error {
 	if err := db.wal.Sync(); err != nil {
 		return err
 	}
+	// Quiescence means no snapshot is pinning history: drop every
+	// version chain (in-memory, so this cannot perturb the flush/record
+	// ordering above). The table list is passed in because db.mu is
+	// already held here — versionGCTables must not re-enter it.
+	db.versionGCTables(tables, true)
 	// Closed segments before the active one are now recoverable-from
 	// nowhere needed; recycle them (archive copies remain if enabled).
 	return db.wal.Recycle(db.wal.ActiveSegment())

@@ -46,6 +46,9 @@ func (db *DB) ExecStmt(tx *Tx, stmt sqlmini.Statement) (Result, error) {
 	if tx.done {
 		return Result{}, fmt.Errorf("engine: transaction %d already finished", tx.id)
 	}
+	if tx.snapshot {
+		return Result{}, fmt.Errorf("engine: snapshot transaction %d is read-only", tx.id)
+	}
 	switch s := stmt.(type) {
 	case *sqlmini.CreateTable:
 		return db.execCreateTable(s)
@@ -195,6 +198,12 @@ func (db *DB) insertRow(tx *Tx, t *Table, tup catalog.Tuple) error {
 	if err := tx.ensureBegun(); err != nil {
 		return err
 	}
+	// Stage the version before the heap sees the new row: a snapshot
+	// reader that observes these uncommitted bytes must find the chain
+	// entry that hides them (base nil = key absent before this insert).
+	if t.PKCol >= 0 {
+		tx.stageVersion(t, versionKey(tup[t.PKCol]), nil, enc)
+	}
 	// No mutex orders the (heap mutation, WAL append) pair across
 	// transactions. Redo replays committed records in log order at their
 	// recorded RIDs, so same-slot records from different transactions
@@ -328,6 +337,18 @@ func (db *DB) updateRow(tx *Tx, t *Table, rid storage.RID, before, after catalog
 	if err := tx.ensureBegun(); err != nil {
 		return err
 	}
+	// Stage before the heap mutation (see insertRow). A PK-changing
+	// update is a delete of the old key plus an insert of the new one in
+	// version-chain terms.
+	if t.PKCol >= 0 {
+		oldKey, newKey := versionKey(before[t.PKCol]), versionKey(after[t.PKCol])
+		if oldKey == newKey {
+			tx.stageVersion(t, oldKey, beforeEnc, afterEnc)
+		} else {
+			tx.stageVersion(t, oldKey, beforeEnc, nil)
+			tx.stageVersion(t, newKey, nil, afterEnc)
+		}
+	}
 	// UpdatePin pins the old slot atomically with the tombstoning when
 	// the record relocates: the slot must survive tombstoned until this
 	// transaction finishes, because rollback restores the before image
@@ -387,6 +408,11 @@ func (db *DB) deleteRow(tx *Tx, t *Table, rid storage.RID, before catalog.Tuple)
 	}
 	if err := tx.ensureBegun(); err != nil {
 		return err
+	}
+	// Stage before the heap mutation (see insertRow): nil after-image
+	// marks the key absent above this version.
+	if t.PKCol >= 0 {
+		tx.stageVersion(t, versionKey(before[t.PKCol]), beforeEnc, nil)
 	}
 	// DeletePin tombstones the slot and pins it in one critical section:
 	// the slot stays barred from reuse until commit/abort, because
@@ -477,8 +503,19 @@ func (db *DB) IterateSelect(tx *Tx, sel *sqlmini.Select, fn func(catalog.Tuple) 
 		}
 	}
 	if tx == nil {
-		tx = db.Begin()
+		if sel.AsOf > 0 {
+			// Time travel: its own snapshot pinned at the requested LSN.
+			stx, err := db.BeginSnapshotAt(sel.AsOf)
+			if err != nil {
+				return nil, err
+			}
+			tx = stx
+		} else {
+			tx = db.Begin()
+		}
 		defer tx.Commit()
+	} else if sel.AsOf > 0 && (!tx.snapshot || tx.readLSN != sel.AsOf) {
+		return nil, fmt.Errorf("engine: AS OF %d needs its own snapshot (autocommit SELECT or BeginSnapshotAt)", sel.AsOf)
 	}
 	t, err := db.Table(sel.Table)
 	if err != nil {
@@ -509,6 +546,20 @@ func (db *DB) IterateSelect(tx *Tx, sel *sqlmini.Select, fn func(catalog.Tuple) 
 			out[i] = tup[p]
 		}
 		return fn(out)
+	}
+	if tx.snapshot && snapshotReadable(t) {
+		// Snapshot reads follow version chains at tx.readLSN and take no
+		// locks at all — no IS intention, no shared range. Tables without
+		// a primary key have no version chains and fall through to the
+		// shared-lock path below (they read current state, not the pinned
+		// horizon; snapshotReadable callers that need the pin use PKs).
+		if err := db.iterateSnapshot(tx, t, sel.Where, emit); err != nil {
+			return nil, err
+		}
+		return outSchema, nil
+	}
+	if tx.snapshot && sel.AsOf > 0 {
+		return nil, fmt.Errorf("engine: AS OF requires a primary-key table, %s has none", t.Name)
 	}
 	// Lock to match the plan. A PK-range plan provably visits only keys
 	// inside its interval, so it takes IS on the table plus a shared

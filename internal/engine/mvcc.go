@@ -1,0 +1,551 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"opdelta/internal/catalog"
+	"opdelta/internal/sqlmini"
+	"opdelta/internal/storage"
+	"opdelta/internal/txn"
+	"opdelta/internal/wal"
+)
+
+// mvccState is the engine's snapshot-visibility bookkeeping. Snapshot
+// readers pin readLSN = min(visible, wal.CommitVisibleLSN()): the newest
+// commit LSN that is both version-resolved (every committed write at or
+// below it has its chain entries stamped) and settled by the WAL's
+// durability policy. Both horizons are monotone, so their min is, which
+// is what makes the GC watermark argument in txn.SnapshotRegistry hold.
+type mvccState struct {
+	mu sync.Mutex
+	// visible is the highest commit LSN whose prefix is fully resolved:
+	// every commit record at or below it has stamped its version-chain
+	// entries. Commits above it may exist in the WAL but their chain
+	// entries can still be pending, so snapshots must not read past it.
+	visible uint64
+	// lowWater is the version-GC horizon: AS OF reads below it would see
+	// chains already pruned (or, after a restart, never rebuilt — the
+	// version store is memory-only) and are rejected as "snapshot too
+	// old". It is raised to the GC watermark BEFORE pruning starts, so a
+	// concurrent AS OF validated against it can never land under an
+	// in-flight prune.
+	lowWater uint64
+	// outstanding tracks commit records appended through the gate whose
+	// version stamps are not yet resolved, in append (= LSN) order.
+	outstanding []commitMark
+	// gcCursor round-robins incremental GC passes over the version
+	// stripes so each automatic pass pays a bounded cost.
+	gcCursor int
+
+	snaps *txn.SnapshotRegistry
+}
+
+type commitMark struct {
+	lsn      uint64
+	resolved bool
+}
+
+// gcVersionThreshold is the automatic GC trigger: once this many
+// versions accumulate engine-wide, commits and snapshot releases run
+// incremental GC passes until the population drops back under it.
+// Below the threshold versions simply linger — that slack is what makes
+// recent-history AS OF reads useful between checkpoints.
+const gcVersionThreshold = 4096
+
+// gcStripesPerPass bounds one incremental GC pass. Automatic triggers
+// sit on the commit path; a full sweep there would be a latency burst
+// proportional to the whole version population, where a bounded pass
+// costs about as much as the staging the triggering transaction already
+// paid for.
+const gcStripesPerPass = 8
+
+// currentReadLSN returns the horizon a snapshot beginning now pins.
+func (db *DB) currentReadLSN() uint64 {
+	db.mvcc.mu.Lock()
+	v := db.mvcc.visible
+	db.mvcc.mu.Unlock()
+	if w := uint64(db.wal.CommitVisibleLSN()); w < v {
+		return w
+	}
+	return v
+}
+
+// currentReadLSNLocked is currentReadLSN with db.mvcc.mu already held.
+func (db *DB) currentReadLSNLocked() uint64 {
+	v := db.mvcc.visible
+	if w := uint64(db.wal.CommitVisibleLSN()); w < v {
+		return w
+	}
+	return v
+}
+
+// mvccBeginCommit appends tx's commit record through the commit gate:
+// the append and the outstanding-mark are atomic, so the resolved-prefix
+// bookkeeping sees commits in WAL order.
+func (db *DB) mvccBeginCommit(rec *wal.Record) (wal.LSN, error) {
+	db.mvcc.mu.Lock()
+	defer db.mvcc.mu.Unlock()
+	lsn, err := db.wal.AppendBuffered(rec)
+	if err != nil {
+		return 0, err
+	}
+	db.mvcc.outstanding = append(db.mvcc.outstanding, commitMark{lsn: uint64(lsn)})
+	return lsn, nil
+}
+
+// mvccEndCommit marks lsn's version stamps resolved and advances the
+// visible horizon past the maximal resolved prefix of outstanding
+// commits.
+func (db *DB) mvccEndCommit(lsn wal.LSN) {
+	m := &db.mvcc
+	m.mu.Lock()
+	for i := range m.outstanding {
+		if m.outstanding[i].lsn == uint64(lsn) {
+			m.outstanding[i].resolved = true
+			break
+		}
+	}
+	n := 0
+	for n < len(m.outstanding) && m.outstanding[n].resolved {
+		m.visible = m.outstanding[n].lsn
+		n++
+	}
+	if n > 0 {
+		m.outstanding = append(m.outstanding[:0], m.outstanding[n:]...)
+	}
+	m.mu.Unlock()
+}
+
+// BeginSnapshot starts a read-only snapshot transaction pinned at the
+// newest readable commit LSN. Snapshot reads follow version chains
+// instead of taking locks: the transaction never touches the lock
+// manager, so it cannot block or be blocked by writers.
+func (db *DB) BeginSnapshot() *Tx {
+	db.activeMu.Lock()
+	db.active++
+	db.activeMu.Unlock()
+	tx := &Tx{db: db, id: db.txns.Begin(), snapshot: true}
+	db.mvcc.mu.Lock()
+	tx.snapID, tx.readLSN = db.mvcc.snaps.Acquire(db.currentReadLSNLocked)
+	db.mvcc.mu.Unlock()
+	return tx
+}
+
+// BeginSnapshotAt starts a snapshot transaction pinned at an explicit
+// commit LSN (time-travel, `AS OF <lsn>`). LSNs below the version-GC
+// low-water mark are rejected: their history is already pruned (or was
+// never rebuilt after a restart). LSNs above the current horizon are
+// rejected too — the future is not readable.
+func (db *DB) BeginSnapshotAt(lsn uint64) (*Tx, error) {
+	db.mvcc.mu.Lock()
+	if lsn < db.mvcc.lowWater {
+		low := db.mvcc.lowWater
+		db.mvcc.mu.Unlock()
+		return nil, fmt.Errorf("engine: snapshot too old: AS OF %d is below the version-GC horizon %d", lsn, low)
+	}
+	if cur := db.currentReadLSNLocked(); lsn > cur {
+		db.mvcc.mu.Unlock()
+		return nil, fmt.Errorf("engine: AS OF %d is ahead of the current commit horizon %d", lsn, cur)
+	}
+	id := db.mvcc.snaps.AcquireAt(lsn)
+	db.mvcc.mu.Unlock()
+	db.activeMu.Lock()
+	db.active++
+	db.activeMu.Unlock()
+	return &Tx{db: db, id: db.txns.Begin(), snapshot: true, snapID: id, readLSN: lsn}, nil
+}
+
+// VersionGC runs a full version-GC sweep: every chain is pruned below
+// the oldest active snapshot's read LSN. It returns the number of
+// versions reclaimed. Checkpoint calls it (quiescent, so the watermark
+// is the current horizon and everything goes); automatic triggers use
+// the bounded incremental pass instead. Purely in-memory: GC performs
+// no I/O and cannot perturb fault schedules.
+func (db *DB) VersionGC() int {
+	return db.versionGCTables(db.tablesSnapshot(), true)
+}
+
+// tablesSnapshot copies the table list out from under db.mu so GC can
+// hold mvcc.mu without nesting inside the catalog lock.
+func (db *DB) tablesSnapshot() []*Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// versionGCTables prunes the given tables' version stores — all stripes
+// when full, one bounded cursor window otherwise. The whole pass holds
+// mvcc.mu: the watermark read, the pruning, and the low-water raise are
+// atomic against BeginSnapshotAt's validate-and-register, so an AS OF
+// read can never slip under an in-flight prune. The AS OF floor rises
+// only as far as history actually dropped (the max pruned anchor
+// commit), keeping untouched history time-travel readable.
+func (db *DB) versionGCTables(tables []*Table, full bool) int {
+	m := &db.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wm := m.snaps.Watermark(db.currentReadLSNLocked)
+	total := 0
+	for _, t := range tables {
+		if t.vstore == nil {
+			continue
+		}
+		var reclaimed int
+		var floor uint64
+		if full {
+			reclaimed, floor = t.vstore.GC(wm)
+		} else {
+			reclaimed, floor = t.vstore.GCStripes(wm, m.gcCursor, gcStripesPerPass)
+		}
+		total += reclaimed
+		if floor > m.lowWater {
+			m.lowWater = floor
+		}
+	}
+	if !full {
+		m.gcCursor += gcStripesPerPass
+	}
+	return total
+}
+
+// VersionCount returns the number of tuple versions held engine-wide.
+func (db *DB) VersionCount() int64 {
+	var n int64
+	db.mu.RLock()
+	for _, t := range db.tables {
+		if t.vstore != nil {
+			n += t.vstore.Count()
+		}
+	}
+	db.mu.RUnlock()
+	return n
+}
+
+// maybeVersionGC runs one bounded incremental GC pass when the version
+// population crossed the automatic threshold.
+func (db *DB) maybeVersionGC() {
+	if db.VersionCount() >= gcVersionThreshold {
+		db.versionGCTables(db.tablesSnapshot(), false)
+	}
+}
+
+// versionKey encodes a primary-key value as the version store's chain
+// key. The encoding is injective per type, and every PK column has one
+// fixed type, so two distinct keys of a table never collide.
+func versionKey(v catalog.Value) string {
+	var buf [8]byte
+	switch v.Type() {
+	case catalog.TypeInt64:
+		binary.BigEndian.PutUint64(buf[:], uint64(v.Int()))
+		return string(buf[:])
+	case catalog.TypeFloat64:
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		return string(buf[:])
+	case catalog.TypeTime:
+		binary.BigEndian.PutUint64(buf[:], uint64(v.Time().UnixNano()))
+		return string(buf[:])
+	case catalog.TypeString:
+		return v.Str()
+	case catalog.TypeBytes:
+		return string(v.BytesVal())
+	case catalog.TypeBool:
+		if v.Bool() {
+			return "\x01"
+		}
+		return "\x00"
+	default:
+		return v.String()
+	}
+}
+
+// stageVersion records one in-flight write in the table's version store
+// and remembers the key on the transaction so Commit can stamp it (or
+// Abort drop it). Must be called BEFORE the heap mutation — that
+// ordering is the reader half's correctness contract (see
+// storage.VersionStore).
+func (tx *Tx) stageVersion(t *Table, key string, base, after []byte) {
+	if t.vstore == nil {
+		return
+	}
+	t.vstore.Stage(key, uint64(tx.id), base, after)
+	if tx.staged == nil {
+		tx.staged = make(map[*Table]map[string]struct{})
+	}
+	keys := tx.staged[t]
+	if keys == nil {
+		keys = make(map[string]struct{})
+		tx.staged[t] = keys
+	}
+	keys[key] = struct{}{}
+}
+
+// resolveStaged stamps every staged version with the commit LSN.
+func (tx *Tx) resolveStaged(commit uint64) {
+	for t, keys := range tx.staged {
+		list := make([]string, 0, len(keys))
+		for k := range keys {
+			list = append(list, k)
+		}
+		t.vstore.Resolve(list, uint64(tx.id), commit)
+	}
+	tx.staged = nil
+}
+
+// dropStaged removes every staged version (abort path).
+func (tx *Tx) dropStaged() {
+	for t, keys := range tx.staged {
+		list := make([]string, 0, len(keys))
+		for k := range keys {
+			list = append(list, k)
+		}
+		t.vstore.DropTxn(list, uint64(tx.id))
+	}
+	tx.staged = nil
+}
+
+// releaseSnapshot returns the snapshot handle and, when the version
+// population warrants it, runs a bounded GC pass now that the departing
+// snapshot no longer pins the watermark.
+func (tx *Tx) releaseSnapshot() {
+	tx.db.mvcc.snaps.Release(tx.snapID)
+	tx.db.maybeVersionGC()
+}
+
+// snapshotReadable reports whether a SELECT can run on the lock-free
+// snapshot path: version chains are keyed by primary key, so tables
+// without one fall back to the shared-lock scan.
+func snapshotReadable(t *Table) bool { return t.PKCol >= 0 && t.vstore != nil }
+
+// iterateSnapshot streams the rows of t visible at tx.readLSN, applying
+// where and emitting via emit. It takes no locks: consistency comes from
+// the version-chain race protocol (writers stage before mutating the
+// heap; this reader reads heap bytes under the page latch first and
+// consults the chain second, so a chain entry always overrides bytes it
+// raced with).
+//
+// Exact PK-range plans resolve through the PK index like the locked
+// path; everything else — including secondary-index plans, whose trees
+// reflect uncommitted writes — runs as a full heap scan with the
+// predicate evaluated on the visible image. Rows surface in key order
+// for range plans and heap order (plus a key-ordered tail of
+// chain-only rows) for scans.
+func (db *DB) iterateSnapshot(tx *Tx, t *Table, where sqlmini.Expr, emit func(catalog.Tuple) error) error {
+	if kr, ok := pkRangePlan(t, where); ok {
+		return db.snapshotRange(tx, t, kr, emit)
+	}
+	return db.snapshotScan(tx, t, where, emit)
+}
+
+// snapshotScan is the full-table snapshot read: one heap pass with
+// chain-wins visibility, then a sweep of chains whose keys the heap pass
+// never surfaced (uncommitted deletes, relocations that hopped behind
+// the scan cursor).
+func (db *DB) snapshotScan(tx *Tx, t *Table, where sqlmini.Expr, emit func(catalog.Tuple) error) error {
+	readLSN := tx.readLSN
+	seen := make(map[string]struct{})
+	stopped := false
+	err := t.heap.Scan(func(rid storage.RID, rec []byte) (bool, error) {
+		tup, err := catalog.DecodeTuple(t.Schema, rec)
+		if err != nil {
+			return false, err
+		}
+		key := versionKey(tup[t.PKCol])
+		if _, dup := seen[key]; dup {
+			// A concurrent relocation can surface one key at two RIDs
+			// within a single scan; its visible image was already emitted.
+			return true, nil
+		}
+		seen[key] = struct{}{}
+		// Heap bytes were read first (we are under the page latch); the
+		// chain, consulted second, wins if present.
+		if vtup, have := t.vstore.Visible(key, readLSN); have {
+			if vtup == nil {
+				return true, nil // absent at readLSN
+			}
+			if tup, err = catalog.DecodeTuple(t.Schema, vtup); err != nil {
+				return false, err
+			}
+		}
+		ok, err := sqlmini.EvalPredicate(where, t.Schema, tup)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		if err := emit(tup); err != nil {
+			if errors.Is(err, errStopIteration) {
+				stopped = true
+				return false, nil
+			}
+			return false, err
+		}
+		return true, nil
+	})
+	if err != nil || stopped {
+		return err
+	}
+	// Chains can hold visible rows the heap pass missed entirely: a key
+	// whose slot is tombstoned by an uncommitted delete, or one whose
+	// relocation jumped behind the cursor mid-scan.
+	extra, err := db.sweepUnseen(t, readLSN, seen)
+	if err != nil {
+		return err
+	}
+	for _, tup := range extra {
+		ok, err := sqlmini.EvalPredicate(where, t.Schema, tup)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := emit(tup); err != nil {
+			if errors.Is(err, errStopIteration) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepUnseen decodes every chained key with a visible image that the
+// heap pass did not surface, returned in ascending PK order for
+// deterministic output.
+func (db *DB) sweepUnseen(t *Table, readLSN uint64, seen map[string]struct{}) ([]catalog.Tuple, error) {
+	var raw [][]byte
+	t.vstore.VisibleSweep(readLSN, func(key string, vtup []byte) {
+		if _, dup := seen[key]; dup {
+			return
+		}
+		raw = append(raw, vtup)
+	})
+	out := make([]catalog.Tuple, 0, len(raw))
+	for _, enc := range raw {
+		tup, err := catalog.DecodeTuple(t.Schema, enc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tup)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return mustCompare(out[i][t.PKCol], out[j][t.PKCol]) < 0
+	})
+	return out, nil
+}
+
+// snapshotRange is the snapshot read for an exact PK-range plan: no IS
+// lock, no shared range lock. Candidate keys come from two sources —
+// the PK index (point-in-time, may include uncommitted inserts and lack
+// uncommitted deletes) and the in-range chains (which carry exactly the
+// keys whose index entries are untrustworthy) — and each candidate
+// resolves through heap-then-chain visibility.
+func (db *DB) snapshotRange(tx *Tx, t *Table, kr *keyRange, emit func(catalog.Tuple) error) error {
+	readLSN := tx.readLSN
+	type cand struct {
+		key    catalog.Value
+		keyStr string
+		rid    storage.RID
+		hasRID bool
+	}
+	var cands []cand
+	have := make(map[string]int)
+	t.RangePK(kr.lo, kr.hi, func(k catalog.Value, rid storage.RID) bool {
+		if kr.loX && kr.lo != nil && mustCompare(k, *kr.lo) == 0 {
+			return true
+		}
+		if kr.hiX && kr.hi != nil && mustCompare(k, *kr.hi) == 0 {
+			return true
+		}
+		ks := versionKey(k)
+		have[ks] = len(cands)
+		cands = append(cands, cand{key: k, keyStr: ks, rid: rid, hasRID: true})
+		return true
+	})
+	// In-range chained keys missing from the index: visible rows whose
+	// index entries an uncommitted (or post-snapshot) delete removed.
+	var chained []catalog.Tuple
+	t.vstore.VisibleSweep(readLSN, func(key string, vtup []byte) {
+		if _, ok := have[key]; ok {
+			return
+		}
+		tup, err := catalog.DecodeTuple(t.Schema, vtup)
+		if err != nil {
+			return // undecodable chain image; nothing to surface
+		}
+		have[key] = -1
+		chained = append(chained, tup)
+	})
+	for _, tup := range chained {
+		k := tup[t.PKCol]
+		if !kr.contains(k) {
+			continue
+		}
+		cands = append(cands, cand{key: k, keyStr: versionKey(k)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return mustCompare(cands[i].key, cands[j].key) < 0 })
+	for _, c := range cands {
+		// Heap first, chain second — same race contract as the scan path.
+		var heapTup catalog.Tuple
+		if c.hasRID {
+			if rec, err := t.heap.Get(c.rid); err == nil {
+				if tup, derr := catalog.DecodeTuple(t.Schema, rec); derr == nil && versionKey(tup[t.PKCol]) == c.keyStr {
+					heapTup = tup
+				}
+			}
+			// A Get error or key mismatch means the slot died or was
+			// reused after the index read; the chain decides then.
+		}
+		var out catalog.Tuple
+		if vtup, haveChain := t.vstore.Visible(c.keyStr, readLSN); haveChain {
+			if vtup == nil {
+				continue // absent at readLSN
+			}
+			tup, err := catalog.DecodeTuple(t.Schema, vtup)
+			if err != nil {
+				return err
+			}
+			out = tup
+		} else if heapTup != nil {
+			out = heapTup
+		} else {
+			// No chain and no committed heap bytes: the key's deletion is
+			// fully settled below the GC watermark, hence visible to us.
+			continue
+		}
+		if err := emit(out); err != nil {
+			if errors.Is(err, errStopIteration) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// contains reports whether k lies inside the range.
+func (kr *keyRange) contains(k catalog.Value) bool {
+	if kr.lo != nil {
+		c := mustCompare(k, *kr.lo)
+		if c < 0 || (c == 0 && kr.loX) {
+			return false
+		}
+	}
+	if kr.hi != nil {
+		c := mustCompare(k, *kr.hi)
+		if c > 0 || (c == 0 && kr.hiX) {
+			return false
+		}
+	}
+	return true
+}

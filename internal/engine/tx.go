@@ -33,6 +33,21 @@ type Tx struct {
 	onCommit []func() error
 	// onAbort hooks run after rollback completes.
 	onAbort []func()
+
+	// snapshot transactions read a pinned commit-LSN horizon through
+	// version chains and never touch the lock manager; they reject
+	// writes. snapID is the SnapshotRegistry handle pinning readLSN
+	// against version GC.
+	snapshot bool
+	readLSN  uint64
+	snapID   uint64
+	// staged tracks the version-chain keys this transaction staged, per
+	// table, so Commit can stamp them with the commit LSN and Abort can
+	// drop them.
+	staged map[*Table]map[string]struct{}
+	// commitLSN is the WAL LSN of this transaction's commit record, set
+	// once Commit appends it (0 for read-only or aborted transactions).
+	commitLSN uint64
 }
 
 type undoRec struct {
@@ -64,6 +79,18 @@ func (db *DB) Begin() *Tx {
 // ID returns the transaction's identifier.
 func (tx *Tx) ID() txn.ID { return tx.id }
 
+// Snapshot reports whether this is a read-only snapshot transaction.
+func (tx *Tx) Snapshot() bool { return tx.snapshot }
+
+// ReadLSN returns the commit-LSN horizon a snapshot transaction reads
+// at (0 for ordinary transactions).
+func (tx *Tx) ReadLSN() uint64 { return tx.readLSN }
+
+// CommitLSN returns the WAL LSN of the transaction's commit record, or
+// 0 if it has not committed (or had nothing to commit). Equivalence
+// harnesses use it to line snapshot reads up with writer commits.
+func (tx *Tx) CommitLSN() uint64 { return tx.commitLSN }
+
 // OnCommit registers fn to run after this transaction commits durably.
 func (tx *Tx) OnCommit(fn func() error) { tx.onCommit = append(tx.onCommit, fn) }
 
@@ -91,6 +118,9 @@ func (tx *Tx) finish() {
 	tx.db.activeMu.Lock()
 	tx.db.active--
 	tx.db.activeMu.Unlock()
+	if tx.snapshot {
+		tx.releaseSnapshot()
+	}
 }
 
 // Commit makes the transaction's effects durable per the WAL sync
@@ -108,13 +138,24 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("engine: transaction %d already finished", tx.id)
 	}
 	if tx.began {
-		lsn, err := tx.db.wal.AppendBuffered(&wal.Record{Type: wal.RecCommit, Txn: uint64(tx.id)})
+		// The commit gate pairs the append with the resolved-prefix
+		// bookkeeping snapshot visibility relies on: the commit is not
+		// readable until mvccEndCommit marks its version stamps resolved.
+		lsn, err := tx.db.mvccBeginCommit(&wal.Record{Type: wal.RecCommit, Txn: uint64(tx.id)})
 		if err != nil {
 			tx.rollback()
+			tx.dropStaged()
 			tx.finish()
 			return err
 		}
+		tx.commitLSN = uint64(lsn)
 		tx.finish()
+		// Stamp after lock release (early release is unaffected: stamps
+		// resolve before the commit becomes visible, and later writers
+		// stage above our still-pending entries).
+		tx.resolveStaged(uint64(lsn))
+		tx.db.mvccEndCommit(lsn)
+		tx.db.maybeVersionGC()
 		if err := tx.db.wal.WaitDurable(lsn); err != nil {
 			// Locks are gone and the commit record is in the log buffer;
 			// whether it survives is recovery's call now.
@@ -137,6 +178,7 @@ func (tx *Tx) Abort() error {
 		return fmt.Errorf("engine: transaction %d already finished", tx.id)
 	}
 	err := tx.rollback()
+	tx.dropStaged()
 	if tx.began {
 		if _, werr := tx.db.wal.Append(&wal.Record{Type: wal.RecAbort, Txn: uint64(tx.id)}); werr != nil && err == nil {
 			err = werr
@@ -229,6 +271,9 @@ func (tx *Tx) LockTablesExclusive(tables ...string) error {
 	if tx.done {
 		return fmt.Errorf("engine: transaction %d already finished", tx.id)
 	}
+	if tx.snapshot {
+		return fmt.Errorf("engine: snapshot transaction %d is read-only", tx.id)
+	}
 	names := make([]string, 0, len(tables))
 	seen := make(map[string]bool, len(tables))
 	for _, name := range tables {
@@ -262,6 +307,9 @@ func (tx *Tx) LockTablesExclusive(tables ...string) error {
 func (tx *Tx) LockRangesExclusive(table string, ranges []keyset.KeyRange) error {
 	if tx.done {
 		return fmt.Errorf("engine: transaction %d already finished", tx.id)
+	}
+	if tx.snapshot {
+		return fmt.Errorf("engine: snapshot transaction %d is read-only", tx.id)
 	}
 	t, err := tx.db.Table(table)
 	if err != nil {

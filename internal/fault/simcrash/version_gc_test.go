@@ -1,0 +1,31 @@
+package simcrash
+
+import (
+	"flag"
+	"testing"
+)
+
+// gcseeds bounds the version-GC crash sweep. Soak runs raise it:
+// go test ./internal/fault/simcrash/ -gcseeds 200
+var gcseeds = flag.Int("gcseeds", 12, "seeds for the version-GC crash sweep")
+
+// TestVersionGCCrash kills the engine while rewrite rounds, a pinned
+// snapshot, and explicit version-GC sweeps are interleaving, recovers,
+// and checks prefix atomicity plus post-recovery MVCC coherence.
+func TestVersionGCCrash(t *testing.T) {
+	crashes := 0
+	for seed := int64(1); seed <= int64(*gcseeds); seed++ {
+		rep, err := RunVersionGC(VersionGCConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Crashed {
+			crashes++
+		}
+		t.Logf("seed %d: crash@%d/%d crashed=%v loaded=%v frontier=%d reclaimed=%d",
+			seed, rep.CrashOp, rep.TotalOps, rep.Crashed, rep.Loaded, rep.Frontier, rep.Reclaimed)
+	}
+	if *gcseeds >= 5 && crashes == 0 {
+		t.Fatalf("none of %d seeds crashed; the scenario is inert", *gcseeds)
+	}
+}

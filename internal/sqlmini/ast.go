@@ -122,6 +122,10 @@ type Select struct {
 	Desc    bool
 	// Limit bounds the result rows; 0 means no limit.
 	Limit int
+	// AsOf, when non-zero, is a commit LSN for a time-travel read: the
+	// statement runs against the committed state as of that LSN
+	// (FROM t AS OF <lsn>). Only meaningful on autocommit SELECTs.
+	AsOf uint64
 }
 
 func (*CreateTable) stmtNode() {}
@@ -233,6 +237,9 @@ func (s *Select) String() string {
 	}
 	b.WriteString(" FROM ")
 	b.WriteString(s.Table)
+	if s.AsOf > 0 {
+		fmt.Fprintf(&b, " AS OF %d", s.AsOf)
+	}
 	if s.Where != nil {
 		b.WriteString(" WHERE ")
 		b.WriteString(s.Where.String())

@@ -34,6 +34,7 @@ var keywords = map[string]bool{
 	"TRUE": true, "FALSE": true,
 	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
 	"DESC": true, "ASC": true,
+	"AS": true, "OF": true,
 }
 
 type lexer struct {

@@ -342,6 +342,20 @@ func (p *parser) parseSelect() (Statement, error) {
 		return nil, err
 	}
 	stmt.Table = table
+	if p.accept(tokKeyword, "AS") {
+		if _, err := p.expect(tokKeyword, "OF"); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		lsn, err := strconv.ParseUint(t.text, 10, 64)
+		if err != nil || lsn == 0 {
+			return nil, p.errorf("bad AS OF LSN %q", t.text)
+		}
+		stmt.AsOf = lsn
+	}
 	if p.accept(tokKeyword, "WHERE") {
 		w, err := p.parseExpr()
 		if err != nil {

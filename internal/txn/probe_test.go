@@ -1,0 +1,157 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"opdelta/internal/obs"
+)
+
+// TestProbeBreaksDeadlockBeforeDeadline enables the in-wait probe with
+// a long lock deadline and checks a genuine cycle is broken in probe
+// time, classified as ErrDeadlock, and counted on the registry.
+func TestProbeBreaksDeadlockBeforeDeadline(t *testing.T) {
+	reg := obs.NewRegistry()
+	lm := NewLockManagerObs(5*time.Second, reg)
+	lm.SetDeadlockProbe(20 * time.Millisecond)
+	if err := xRanges(lm, 1, kr(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := xRanges(lm, 2, kr(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// Each goroutine aborts (releases everything) when its acquire
+	// fails, the way the engine reacts to ErrDeadlock — that is what
+	// lets the surviving transaction proceed in probe time.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	start := time.Now()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if errs[0] = xRanges(lm, 1, kr(5, 6)); errs[0] != nil {
+			lm.ReleaseAll(1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if errs[1] = xRanges(lm, 2, kr(1, 2)); errs[1] != nil {
+			lm.ReleaseAll(2)
+		}
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+	// The probe must break the cycle well inside the 5s deadline.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cycle took %v to break; probe did not fire", elapsed)
+	}
+	var deadlockErr error
+	for _, err := range errs {
+		if errors.Is(err, ErrDeadlock) {
+			deadlockErr = err
+		}
+	}
+	if deadlockErr == nil {
+		t.Fatalf("no ErrDeadlock from the probe: %v, %v", errs[0], errs[1])
+	}
+	// ErrDeadlock stays inside the ErrLockTimeout family so existing
+	// retry logic keeps working unchanged.
+	if !errors.Is(deadlockErr, ErrLockTimeout) {
+		t.Fatalf("ErrDeadlock must wrap ErrLockTimeout: %v", deadlockErr)
+	}
+	if st := lm.Stats(); st.ProbeDeadlocks < 1 {
+		t.Fatalf("ProbeDeadlocks = %d, want >= 1 (stats: %+v)", st.ProbeDeadlocks, st)
+	}
+	if m := reg.Snapshot().Get("txn_lock_probe_deadlocks_total"); m == nil || m.Value < 1 {
+		t.Fatalf("txn_lock_probe_deadlocks_total missing or zero: %+v", m)
+	}
+}
+
+// TestProbeBreaksTableDeadlock runs the probe against a cross-table
+// deadlock at table granularity.
+func TestProbeBreaksTableDeadlock(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	lm.SetDeadlockProbe(20 * time.Millisecond)
+	if err := lm.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	start := time.Now()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if errs[0] = lm.Acquire(1, "b", Exclusive); errs[0] != nil {
+			lm.ReleaseAll(1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if errs[1] = lm.Acquire(2, "a", Exclusive); errs[1] != nil {
+			lm.ReleaseAll(2)
+		}
+	}()
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cycle took %v to break; probe did not fire", elapsed)
+	}
+	if !errors.Is(errs[0], ErrDeadlock) && !errors.Is(errs[1], ErrDeadlock) {
+		t.Fatalf("no ErrDeadlock: %v, %v", errs[0], errs[1])
+	}
+}
+
+// TestProbeIgnoresPlainContention holds a lock past several probe
+// intervals with no cycle: the waiter must ride out to its deadline
+// (or the release), never reporting a deadlock.
+func TestProbeIgnoresPlainContention(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	lm.SetDeadlockProbe(10 * time.Millisecond)
+	if err := lm.Acquire(1, "t", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- lm.Acquire(2, "t", Exclusive) }()
+	// Several probe intervals pass while txn 1 just holds (not waits).
+	time.Sleep(80 * time.Millisecond)
+	lm.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatalf("plain contention misclassified: %v", err)
+	}
+	if st := lm.Stats(); st.ProbeDeadlocks != 0 {
+		t.Fatalf("ProbeDeadlocks = %d, want 0", st.ProbeDeadlocks)
+	}
+}
+
+// TestProbeDisabledByDefault verifies a directly-constructed manager
+// keeps the deadline-only behavior unless the probe is opted into.
+func TestProbeDisabledByDefault(t *testing.T) {
+	lm := NewLockManager(120 * time.Millisecond)
+	if err := lm.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = lm.Acquire(1, "b", Exclusive) }()
+	go func() { defer wg.Done(); errs[1] = lm.Acquire(2, "a", Exclusive) }()
+	wg.Wait()
+	for _, err := range errs {
+		if errors.Is(err, ErrDeadlock) {
+			t.Fatalf("probe fired while disabled: %v", err)
+		}
+	}
+	if !errors.Is(errs[0], ErrLockTimeout) && !errors.Is(errs[1], ErrLockTimeout) {
+		t.Fatalf("deadline did not break the cycle: %v, %v", errs[0], errs[1])
+	}
+	if st := lm.Stats(); st.ProbeDeadlocks != 0 {
+		t.Fatalf("ProbeDeadlocks = %d, want 0 with the probe off", st.ProbeDeadlocks)
+	}
+}

@@ -156,6 +156,13 @@ func tableModeCoversRange(held, mode LockMode) bool {
 // timeout, the usual symptom of a deadlock under 2PL.
 var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
 
+// ErrDeadlock reports a waits-for cycle detected by the in-wait probe
+// and resolved by aborting the probing transaction, milliseconds after
+// the cycle formed instead of at the lock deadline. It wraps
+// ErrLockTimeout so every existing "deadlock surfaced, abort and maybe
+// retry" consumer handles it unchanged.
+var ErrDeadlock = fmt.Errorf("%w: waits-for cycle detected", ErrLockTimeout)
+
 // escalateThreshold is the number of live range locks one transaction
 // may hold on one table before the manager tries to trade them for a
 // single table X lock. Escalation is opportunistic — it is skipped when
@@ -170,6 +177,7 @@ const escalateThreshold = 1024
 type TableLockStats struct {
 	Acquires       uint64        // granted requests (table and range)
 	RangeAcquires  uint64        // granted range requests
+	ReadAcquires   uint64        // granted requests in a read mode (IS, S, shared ranges)
 	Waits          uint64        // requests that blocked at least once
 	WaitTime       time.Duration // total time requests spent blocked
 	WriteWaits     uint64        // blocked requests in a write mode (IX, SIX, X)
@@ -182,6 +190,7 @@ type TableLockStats struct {
 func (s *TableLockStats) add(o TableLockStats) {
 	s.Acquires += o.Acquires
 	s.RangeAcquires += o.RangeAcquires
+	s.ReadAcquires += o.ReadAcquires
 	s.Waits += o.Waits
 	s.WaitTime += o.WaitTime
 	s.WriteWaits += o.WriteWaits
@@ -206,7 +215,13 @@ type LockManager struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	timeout time.Duration
-	tables  map[string]*tableLock
+	// probe, when positive, runs the waits-for cycle detector at this
+	// interval while a request is blocked, aborting the prober with
+	// ErrDeadlock as soon as it sits on a cycle — instead of burning the
+	// full timeout. Zero disables probing; the deadline then remains the
+	// only deadlock resolver (and noteTimeoutLocked still classifies it).
+	probe  time.Duration
+	tables map[string]*tableLock
 
 	// Metrics live on an obs registry (a private one unless injected via
 	// NewLockManagerObs). The counters are atomic, so incrementing them
@@ -216,6 +231,7 @@ type LockManager struct {
 	labels                  []obs.Label
 	waits, grants, timeouts *obs.Counter
 	cycleTimeouts           *obs.Counter
+	probeDeadlocks          *obs.Counter
 }
 
 // tableLockMetrics are one table's registry-backed counters, resolved
@@ -224,6 +240,7 @@ type LockManager struct {
 type tableLockMetrics struct {
 	acquires       *obs.Counter
 	rangeAcquires  *obs.Counter
+	readAcquires   *obs.Counter
 	waits          *obs.Counter
 	waitNanos      *obs.Counter
 	writeWaits     *obs.Counter
@@ -238,6 +255,7 @@ func newTableLockMetrics(reg *obs.Registry, labels []obs.Label, table string) *t
 	return &tableLockMetrics{
 		acquires:       reg.Counter("txn_table_lock_acquires_total", ls...),
 		rangeAcquires:  reg.Counter("txn_table_range_acquires_total", ls...),
+		readAcquires:   reg.Counter("txn_table_read_acquires_total", ls...),
 		waits:          reg.Counter("txn_table_lock_waits_total", ls...),
 		waitNanos:      reg.Counter("txn_table_lock_wait_nanos_total", ls...),
 		writeWaits:     reg.Counter("txn_table_write_waits_total", ls...),
@@ -252,6 +270,7 @@ func (m *tableLockMetrics) snapshot() TableLockStats {
 	return TableLockStats{
 		Acquires:       m.acquires.Value(),
 		RangeAcquires:  m.rangeAcquires.Value(),
+		ReadAcquires:   m.readAcquires.Value(),
 		Waits:          m.waits.Value(),
 		WaitTime:       time.Duration(m.waitNanos.Value()),
 		WriteWaits:     m.writeWaits.Value(),
@@ -381,9 +400,22 @@ func NewLockManagerObs(timeout time.Duration, reg *obs.Registry, labels ...obs.L
 		// Timeouts that resolved an actual waits-for cycle (see waitfor.go)
 		// rather than firing on plain contention.
 		cycleTimeouts: reg.Counter("txn_lock_timeout_cycles_total", labels...),
+		// Deadlocks resolved early by the in-wait probe (SetDeadlockProbe).
+		probeDeadlocks: reg.Counter("txn_lock_probe_deadlocks_total", labels...),
 	}
 	lm.cond = sync.NewCond(&lm.mu)
 	return lm
+}
+
+// SetDeadlockProbe enables (or, with d <= 0, disables) the in-wait
+// waits-for cycle probe at interval d. Call before the manager is
+// shared across goroutines; probing is off by default so the
+// deadline-backstop path stays exercised where callers want it.
+func (lm *LockManager) SetDeadlockProbe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	lm.probe = d
 }
 
 func (lm *LockManager) tableLocked(table string) *tableLock {
@@ -418,7 +450,7 @@ func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, d
 	tl.nextSeq++
 	seq := tl.nextSeq
 	queued := false
-	var blockedAt time.Time
+	var blockedAt, nextProbe time.Time
 	defer func() {
 		if queued {
 			tl.removeWaiter(seq)
@@ -443,6 +475,9 @@ func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, d
 			!tl.conflictsWithEarlierLocked(seq, waiter{tx: tx, mode: target}) {
 			tl.holders[tx] = target
 			tl.m.acquires.Inc()
+			if !isWriteMode(mode) {
+				tl.m.readAcquires.Inc()
+			}
 			if held != 0 {
 				tl.m.upgrades.Inc()
 			}
@@ -461,7 +496,11 @@ func (lm *LockManager) acquireTableLocked(tl *tableLock, tx ID, mode LockMode, d
 			}
 			lm.waits.Inc()
 		}
-		if !lm.waitUntilLocked(deadline) {
+		timedOut, deadlocked := lm.waitStepLocked(tx, deadline, &nextProbe)
+		if deadlocked {
+			return fmt.Errorf("%w: txn %d wants %s on %q", ErrDeadlock, tx, mode, tl.name)
+		}
+		if timedOut {
 			lm.noteTimeoutLocked(tx)
 			return fmt.Errorf("%w: txn %d wants %s on %q", ErrLockTimeout, tx, mode, tl.name)
 		}
@@ -524,7 +563,7 @@ func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r
 	tl.nextSeq++
 	seq := tl.nextSeq
 	queued := false
-	var blockedAt time.Time
+	var blockedAt, nextProbe time.Time
 	defer func() {
 		if queued {
 			tl.removeWaiter(seq)
@@ -565,6 +604,9 @@ func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r
 			tl.nranges[tx]++
 			tl.m.acquires.Inc()
 			tl.m.rangeAcquires.Inc()
+			if !isWriteMode(mode) {
+				tl.m.readAcquires.Inc()
+			}
 			if ownWeaker && mode == Exclusive {
 				tl.m.upgrades.Inc()
 			}
@@ -586,7 +628,11 @@ func (lm *LockManager) acquireRangeLocked(tl *tableLock, tx ID, mode LockMode, r
 			}
 			lm.waits.Inc()
 		}
-		if !lm.waitUntilLocked(deadline) {
+		timedOut, deadlocked := lm.waitStepLocked(tx, deadline, &nextProbe)
+		if deadlocked {
+			return fmt.Errorf("%w: txn %d wants %s on %q range %s", ErrDeadlock, tx, mode, tl.name, r)
+		}
+		if timedOut {
 			lm.noteTimeoutLocked(tx)
 			return fmt.Errorf("%w: txn %d wants %s on %q range %s", ErrLockTimeout, tx, mode, tl.name, r)
 		}
@@ -613,6 +659,41 @@ func (lm *LockManager) tryEscalateLocked(tl *tableLock, tx ID) {
 		tl.ranges.removeTx(tx)
 		delete(tl.nranges, tx)
 	}
+}
+
+// waitStepLocked performs one bounded wait for a blocked request from
+// tx. It wakes at the next grant broadcast, the probe tick, or the
+// final deadline, whichever comes first. On a probe tick it runs the
+// waits-for cycle detector: deadlocked=true means tx sits on a cycle
+// and must abort now (the probe's early victim), counted in
+// txn_lock_probe_deadlocks_total. timedOut=true means the deadline
+// passed (the backstop; noteTimeoutLocked classifies it at the call
+// site). Both false means the caller should re-check grantability.
+func (lm *LockManager) waitStepLocked(tx ID, deadline time.Time, nextProbe *time.Time) (timedOut, deadlocked bool) {
+	wake := deadline
+	if lm.probe > 0 {
+		if nextProbe.IsZero() {
+			*nextProbe = time.Now().Add(lm.probe)
+		}
+		if nextProbe.Before(wake) {
+			wake = *nextProbe
+		}
+	}
+	if !lm.waitUntilLocked(wake) {
+		if wake.Before(deadline) {
+			// Probe tick: still blocked at the interval boundary. The
+			// request is still queued, so its own waits-for edges are
+			// visible to the detector.
+			if lm.inCycleLocked(tx) {
+				lm.probeDeadlocks.Inc()
+				return false, true
+			}
+			*nextProbe = time.Now().Add(lm.probe)
+			return false, false
+		}
+		return true, false
+	}
+	return false, false
 }
 
 // waitUntilLocked waits on the manager condition until signaled or the
@@ -702,18 +783,21 @@ func (lm *LockManager) HoldingRange(tx ID, table string, r keyset.KeyRange) Lock
 // LockStats is a snapshot of manager-wide lock counters. CycleTimeouts
 // counts the subset of Timeouts where the timed-out transaction sat on
 // a waits-for cycle — a deadlock resolved by deadline — as opposed to
-// timing out under plain contention.
+// timing out under plain contention. ProbeDeadlocks counts deadlocks
+// the in-wait probe resolved early (they never reach Timeouts).
 type LockStats struct {
 	Waits, Grants, Timeouts, CycleTimeouts uint64
+	ProbeDeadlocks                         uint64
 }
 
 // Stats returns manager-wide lock counters.
 func (lm *LockManager) Stats() LockStats {
 	return LockStats{
-		Waits:         lm.waits.Value(),
-		Grants:        lm.grants.Value(),
-		Timeouts:      lm.timeouts.Value(),
-		CycleTimeouts: lm.cycleTimeouts.Value(),
+		Waits:          lm.waits.Value(),
+		Grants:         lm.grants.Value(),
+		Timeouts:       lm.timeouts.Value(),
+		CycleTimeouts:  lm.cycleTimeouts.Value(),
+		ProbeDeadlocks: lm.probeDeadlocks.Value(),
 	}
 }
 

@@ -502,6 +502,26 @@ func (w *Writer) NextLSN() LSN {
 	return w.nextLSN
 }
 
+// CommitVisibleLSN returns the newest LSN the writer's durability policy
+// considers settled: the last appended record under SyncNone (nothing is
+// ever promised beyond the process buffer), the OS-flushed high-water
+// mark under SyncFlush, and the fsynced mark under SyncFull. Snapshot
+// readers pin their read horizon here so a snapshot never observes a
+// commit the policy could still lose — "last durable commit" means the
+// same thing to a snapshot as it does to WaitDurable.
+func (w *Writer) CommitVisibleLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.opts.Sync {
+	case SyncNone:
+		return w.lastLSN
+	case SyncFlush:
+		return w.flushedLSN
+	default:
+		return w.durableLSN
+	}
+}
+
 // Stats is a snapshot of writer counters. GroupSyncs counts sync rounds
 // led on behalf of a WaitDurable cohort; Syncs counts fsyncs issued, so
 // Syncs well below the number of commits is group commit working.
