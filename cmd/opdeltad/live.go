@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -20,16 +21,49 @@ import (
 	"opdelta/internal/warehouse"
 )
 
+// diagOpts carries the diagnostics flags shared by every long-running
+// mode: head-sampling rate and slow-trace threshold for the span
+// tracer, and whether to mount net/http/pprof on the metrics mux.
+type diagOpts struct {
+	pprof       bool
+	traceSample int
+	slowSpan    time.Duration
+}
+
+// newSpanTracer builds the process's span tracer from the diagnostics
+// flags, with slow traces logged to stdout.
+func newSpanTracer(reg *obs.Registry, d diagOpts) *obs.SpanTracer {
+	spans := obs.NewSpanTracer(reg, 512)
+	spans.SetSampleEvery(d.traceSample)
+	spans.SetSlowThreshold(d.slowSpan)
+	spans.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	return spans
+}
+
 // serveObs starts the metrics endpoint and prints the resolved URL (so
 // "-metrics 127.0.0.1:0" callers — tests, CI — learn the picked port).
-func serveObs(addr string, reg *obs.Registry, tracer *obs.Tracer) (string, error) {
+// With pprofOn the mux additionally serves net/http/pprof profiles
+// under /debug/pprof/.
+func serveObs(addr string, reg *obs.Registry, tracer *obs.Tracer, spans *obs.SpanTracer, pprofOn bool) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	url := fmt.Sprintf("http://%s", ln.Addr())
-	fmt.Printf("opdeltad: serving %s/metrics and %s/debug/deltaz\n", url, url)
-	srv := &http.Server{Handler: obs.Handler(reg, tracer)}
+	fmt.Printf("opdeltad: serving %s/metrics and %s/debug/{deltaz,spanz}\n", url, url)
+	var h http.Handler = obs.Handler(reg, tracer, spans)
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", h)
+		h = mux
+		fmt.Printf("opdeltad: pprof enabled under %s/debug/pprof/\n", url)
+	}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return url, nil
 }
@@ -42,11 +76,12 @@ func serveObs(addr string, reg *obs.Registry, tracer *obs.Tracer) (string, error
 // integrator. Every op carries a lifecycle trace — captured, enqueued,
 // dequeued, locked, applied, durable — so /metrics reports live
 // freshness lag and per-stage latency while the pipeline runs.
-func runLive(srcDir, outDir, metricsAddr string, rate int, duration time.Duration) error {
+func runLive(srcDir, outDir, metricsAddr string, rate int, duration time.Duration, d diagOpts) error {
 	reg := obs.Default()
 	tracer := obs.NewTracer(reg, 512)
+	spans := newSpanTracer(reg, d)
 	if metricsAddr != "" {
-		if _, err := serveObs(metricsAddr, reg, tracer); err != nil {
+		if _, err := serveObs(metricsAddr, reg, tracer, spans, d.pprof); err != nil {
 			return err
 		}
 	}
@@ -181,6 +216,15 @@ func runLive(srcDir, outDir, metricsAddr string, rate int, duration time.Duratio
 			}
 			for _, op := range ops {
 				tr := tracer.Begin(op.Seq, op.Txn, op.Time)
+				// Single-process spans: same stages as the networked
+				// pipeline minus the wire, so /debug/spanz and the
+				// slow-span log work identically in live mode. No clock
+				// skew to correct — capture and apply share one clock.
+				if tid := obs.TraceID("live", op.Seq); spans.Sampled(tid) {
+					tr.SetOnDone(func(rec obs.TraceRecord) {
+						emitLocalSpans(spans, tid, "live", rec)
+					})
+				}
 				// Stamp and publish the trace before the append: the
 				// applier can dequeue the instant Append lands, and a
 				// post-append stamp would race it backwards.
@@ -283,4 +327,37 @@ func runLive(srcDir, outDir, metricsAddr string, rate int, duration time.Duratio
 	errMu.Lock()
 	defer errMu.Unlock()
 	return firstErr
+}
+
+// emitLocalSpans converts a completed lifecycle trace into the span
+// chain the networked pipeline would have produced, for a pipeline that
+// runs in one process (one clock, no wire hops).
+func emitLocalSpans(spans *obs.SpanTracer, tid uint64, source string, rec obs.TraceRecord) {
+	capID := obs.SpanIDFor(tid, "capture")
+	queueID := obs.SpanIDFor(tid, "queue")
+	applyID := obs.SpanIDFor(tid, "apply")
+	durableID := obs.SpanIDFor(tid, "durable")
+	if rec.Enqueued != 0 {
+		spans.Record(obs.SpanRecord{TraceID: tid, SpanID: capID, Name: "capture",
+			Source: source, Seq: rec.Seq, StartUnixNs: rec.Captured, EndUnixNs: rec.Enqueued})
+	}
+	if rec.Enqueued != 0 && rec.Dequeued != 0 {
+		spans.Record(obs.SpanRecord{TraceID: tid, SpanID: queueID, ParentID: capID, Name: "queue",
+			Source: source, Seq: rec.Seq, StartUnixNs: rec.Enqueued, EndUnixNs: rec.Dequeued})
+	}
+	applyStart := rec.Locked
+	if applyStart == 0 {
+		applyStart = rec.Dequeued
+	}
+	if applyStart != 0 && rec.Applied != 0 {
+		spans.Record(obs.SpanRecord{TraceID: tid, SpanID: applyID, ParentID: queueID, Name: "apply",
+			Source: source, Seq: rec.Seq, StartUnixNs: applyStart, EndUnixNs: rec.Applied})
+	}
+	if rec.Applied != 0 && rec.Durable != 0 {
+		spans.Record(obs.SpanRecord{TraceID: tid, SpanID: durableID, ParentID: applyID, Name: "durable",
+			Source: source, Seq: rec.Seq, StartUnixNs: rec.Applied, EndUnixNs: rec.Durable})
+	}
+	if rec.Durable != 0 && rec.Captured != 0 {
+		spans.ObserveE2E(tid, source, rec.Seq, rec.Durable-rec.Captured)
+	}
 }

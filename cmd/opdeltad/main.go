@@ -19,8 +19,12 @@
 // deltas, <table>.<seq>.ops for operations) to the output directory.
 //
 // With -metrics ADDR the daemon serves /metrics (Prometheus text
-// exposition) and /debug/deltaz (recent delta lifecycle traces, JSON)
-// on ADDR; port 0 picks a free port and the resolved URL is printed.
+// exposition), /debug/deltaz (recent delta lifecycle traces, JSON) and
+// /debug/spanz (recent span traces, JSON; ?format=tree for a rendered
+// span tree) on ADDR; port 0 picks a free port and the resolved URL is
+// printed. -pprof additionally mounts net/http/pprof profiles under
+// /debug/pprof/ on the same mux. -tracesample and -slowspan control
+// span head-sampling and the slow-trace log threshold.
 //
 // With -live the daemon instead runs the full pipeline in-process —
 // load generation through Op-Delta capture, a persistent queue, and
@@ -75,14 +79,20 @@ func main() {
 		truncLog   = flag.Bool("truncatelog", false, "ship mode: truncate the op log at its head on startup, forcing a fresh replica to snapshot-bootstrap")
 		chunkRows  = flag.Int("chunkrows", 128, "ship mode: rows per snapshot bootstrap chunk")
 		chunkDelay = flag.Duration("chunkdelay", 0, "ship mode: pause between snapshot bootstrap chunks (paces bootstrap against live traffic)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/ on the metrics address")
+		traceSmpl  = flag.Int("tracesample", 1, "serve/ship/live mode: head-sample one in N replication traces by trace ID (0 disables span tracing)")
+		slowSpan   = flag.Duration("slowspan", 0, "serve/live mode: log a per-stage breakdown for traces whose end-to-end lag exceeds this (0 = off)")
+		faultDelay = flag.Float64("faultdelayprob", 0, "ship mode: probability of delaying each outgoing frame through an injected fault link (testing)")
+		faultMax   = flag.Duration("faultmaxdelay", 2*time.Millisecond, "ship mode: maximum injected per-frame delay")
 	)
 	flag.Parse()
+	diag := diagOpts{pprof: *pprofOn, traceSample: *traceSmpl, slowSpan: *slowSpan}
 	if *serve {
 		if *outDir == "" {
 			flag.Usage()
 			os.Exit(2)
 		}
-		if err := runServe(*listen, *outDir, *metrics, *runFor); err != nil {
+		if err := runServe(*listen, *outDir, *metrics, *runFor, diag); err != nil {
 			fatal(err)
 		}
 		return
@@ -92,7 +102,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		if err := runShip(*ship, *srcDir, *source, *metrics, *loadgen, *chunkRows, *chunkDelay, *truncLog, *runFor); err != nil {
+		if err := runShip(*ship, *srcDir, *source, *metrics, *loadgen, *chunkRows, *chunkDelay, *truncLog, *runFor, diag, *faultDelay, *faultMax); err != nil {
 			fatal(err)
 		}
 		return
@@ -102,13 +112,13 @@ func main() {
 		os.Exit(2)
 	}
 	if *live {
-		if err := runLive(*srcDir, *outDir, *metrics, *loadgen, *runFor); err != nil {
+		if err := runLive(*srcDir, *outDir, *metrics, *loadgen, *runFor, diag); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *metrics != "" {
-		if _, err := serveObs(*metrics, obs.Default(), nil); err != nil {
+		if _, err := serveObs(*metrics, obs.Default(), nil, nil, diag.pprof); err != nil {
 			fatal(err)
 		}
 	}

@@ -33,11 +33,12 @@ import (
 // batches, and every warehouse commits durably before exit. A kill -9
 // instead of a signal loses none of that: the topic queue and applied
 // log are durable, so the next start resumes from the last acked LSN.
-func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration) error {
+func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration, d diagOpts) error {
 	reg := obs.Default()
 	tracer := obs.NewTracer(reg, 512)
+	spans := newSpanTracer(reg, d)
 	if metricsAddr != "" {
-		if _, err := serveObs(metricsAddr, reg, tracer); err != nil {
+		if _, err := serveObs(metricsAddr, reg, tracer, spans, d.pprof); err != nil {
 			return err
 		}
 	}
@@ -108,15 +109,16 @@ func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration) er
 		st := &sourceState{
 			db:    db,
 			integ: &warehouse.ParallelIntegrator{W: w, Workers: 4, Applied: applied},
-			boot:  &netrepl.Bootstrapper{Log: blog, Applied: applied, Source: source, Obs: reg},
+			boot:  &netrepl.Bootstrapper{Log: blog, Applied: applied, Source: source, Obs: reg, Spans: spans},
 		}
 		states[source] = st
 		return st, nil
 	}
 
 	srv := netrepl.NewServer(netrepl.ServerConfig{
-		Dir: filepath.Join(outDir, "topics"),
-		Obs: reg,
+		Dir:   filepath.Join(outDir, "topics"),
+		Obs:   reg,
+		Spans: spans,
 		Bootstrap: func(source string) (*netrepl.Bootstrapper, error) {
 			st, err := ensureState(source)
 			if err != nil {
@@ -172,6 +174,7 @@ func runServe(listenAddr, outDir, metricsAddr string, duration time.Duration) er
 			},
 			Bootstrap: st.boot,
 			Tracer:    tracer,
+			Spans:     spans,
 			Obs:       reg,
 		}
 		wg.Add(1)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -403,6 +404,171 @@ func TestServeShipMetricsScrape(t *testing.T) {
 	for i, source := range []string{"src-a", "src-b"} {
 		verifyReplica(t, filepath.Join(work, source), filepath.Join(work, "out", "wh-"+source), acked[i])
 	}
+}
+
+// spanzDump mirrors the /debug/spanz JSON document.
+type spanzDump struct {
+	Traces []struct {
+		TraceID string `json:"trace_id"`
+		Source  string `json:"source"`
+		Seq     uint64 `json:"seq"`
+		Spans   []struct {
+			SpanID   string `json:"span_id"`
+			ParentID string `json:"parent_id"`
+			Name     string `json:"name"`
+		} `json:"spans"`
+	} `json:"traces"`
+	Slow []struct {
+		TraceID string `json:"trace_id"`
+		LagNs   int64  `json:"e2e_lag_ns"`
+	} `json:"slow"`
+}
+
+func fetchSpanz(t *testing.T, base string) spanzDump {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/spanz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d spanzDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("decode /debug/spanz: %v", err)
+	}
+	return d
+}
+
+// spanNames collapses a trace's spans to a name set.
+func spanNames(spans []struct {
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id"`
+	Name     string `json:"name"`
+}) map[string]bool {
+	names := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	return names
+}
+
+// TestServeShipTracing is the tracing acceptance run: a server and a
+// shipper as separate processes with tracing on, the shipper's link
+// routed through an injected-delay fault bridge. The delay must drive
+// end-to-end latency past the server's -slowspan threshold (slow-span
+// log line + spans_slow_total), the two /debug/spanz rings must join on
+// trace ID into a complete cross-process chain (capture/ship on the
+// shipper, persist/queue/apply/durable on the server), and the server
+// must expose raw + skew-corrected replication lag series.
+func TestServeShipTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns daemon binaries")
+	}
+	bin := buildDaemon(t)
+	work := t.TempDir()
+
+	srv := startProc(t, "serve", bin,
+		"-serve", "-out", filepath.Join(work, "out"),
+		"-listen", "127.0.0.1:0", "-metrics", "127.0.0.1:0",
+		"-tracesample", "1", "-slowspan", "10ms", "-pprof",
+		"-duration", "2m")
+	srvMetrics := srv.metricsURL()
+	listenLine := srv.expectLine("listening on", 10*time.Second)
+	addr := listenLine[strings.Index(listenLine, "listening on ")+len("listening on "):]
+
+	ship := startProc(t, "ship", bin,
+		"-ship", addr, "-src", filepath.Join(work, "src"),
+		"-source", "src-a", "-metrics", "127.0.0.1:0",
+		"-loadgen", "200", "-tracesample", "1",
+		"-faultdelayprob", "1", "-faultmaxdelay", "40ms",
+		"-duration", "2m")
+	shipMetrics := ship.metricsURL()
+	ship.expectLine("fault link enabled", 10*time.Second)
+
+	// Ops must flow end to end through the delayed link, and the injected
+	// 0-40ms per-write delay must push traces past the 10ms threshold.
+	waitMetric(t, srvMetrics, `netrepl_applied_ops_total{source="src-a"}`,
+		func(v float64) bool { return v >= 20 }, 30*time.Second)
+	waitMetric(t, srvMetrics, "spans_slow_total",
+		func(v float64) bool { return v >= 1 }, 30*time.Second)
+	srv.expectLine("slow trace", 10*time.Second)
+
+	// The lag instruments: raw and skew-corrected histograms (all three
+	// exposition series each) plus the corrected-lag gauge.
+	body := waitMetric(t, srvMetrics, `netrepl_replication_lag_seconds_count{source="src-a"}`,
+		func(v float64) bool { return v >= 1 }, 20*time.Second)
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("malformed server exposition: %v", err)
+	}
+	for _, name := range []string{
+		`netrepl_replication_lag_seconds_sum{source="src-a"}`,
+		`netrepl_replication_lag_raw_seconds_sum{source="src-a"}`,
+		`netrepl_replication_lag_raw_seconds_count{source="src-a"}`,
+		`netrepl_replication_lag_ns{source="src-a"}`,
+	} {
+		if _, ok := sampleValue(body, name); !ok {
+			t.Errorf("server series %s missing", name)
+		}
+	}
+
+	// Join the two processes' span rings on trace ID: at least one trace
+	// must be complete across the wire — capture+ship recorded by the
+	// shipper, persist+queue+apply+durable by the server, with the
+	// persist span parented on the shipper's wire span.
+	serverStages := []string{"persist", "queue", "apply", "durable"}
+	var joined bool
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) && !joined {
+		srvDump := fetchSpanz(t, srvMetrics)
+		shipDump := fetchSpanz(t, shipMetrics)
+		shipTraces := make(map[string]map[string]bool)
+		for _, tr := range shipDump.Traces {
+			shipTraces[tr.TraceID] = spanNames(tr.Spans)
+		}
+		for _, tr := range srvDump.Traces {
+			names := spanNames(tr.Spans)
+			complete := true
+			for _, stage := range serverStages {
+				complete = complete && names[stage]
+			}
+			remote := shipTraces[tr.TraceID]
+			if complete && remote["capture"] && remote["ship"] && tr.Source == "src-a" {
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	if !joined {
+		t.Error("no trace joined across both /debug/spanz rings with a complete capture/ship + persist/queue/apply/durable chain")
+	}
+
+	// The slow ring must carry breakdowns, and the human-readable tree
+	// and pprof endpoints must both serve.
+	srvDump := fetchSpanz(t, srvMetrics)
+	if len(srvDump.Slow) == 0 {
+		t.Error("server /debug/spanz slow ring empty despite spans_slow_total >= 1")
+	}
+	for _, url := range []string{
+		srvMetrics + "/debug/spanz?format=tree",
+		srvMetrics + "/debug/pprof/cmdline",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", url, resp.StatusCode)
+		}
+	}
+
+	// Exactly-once still holds through the delayed link.
+	ship.drain(30 * time.Second)
+	acked := ackedSeq(t, ship.expectLine("drained at acked seq", time.Second))
+	srv.drain(15 * time.Second)
+	verifyReplica(t, filepath.Join(work, "src"), filepath.Join(work, "out", "wh-src-a"), acked)
 }
 
 // TestServeShipKill9Resume proves the acceptance criterion directly:

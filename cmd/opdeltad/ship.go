@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -11,6 +12,7 @@ import (
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
+	"opdelta/internal/fault"
 	"opdelta/internal/obs"
 	"opdelta/internal/opdelta"
 	netrepl "opdelta/internal/transport/net"
@@ -37,10 +39,11 @@ import (
 // writers are never blocked. With truncate, the op log is truncated at
 // its current head on startup, forcing exactly that path on a fresh
 // server; chunkRows/chunkDelay pace the chunk reads.
-func runShip(serverAddr, srcDir, source, metricsAddr string, rate, chunkRows int, chunkDelay time.Duration, truncate bool, duration time.Duration) error {
+func runShip(serverAddr, srcDir, source, metricsAddr string, rate, chunkRows int, chunkDelay time.Duration, truncate bool, duration time.Duration, d diagOpts, faultDelayProb float64, faultMaxDelay time.Duration) error {
 	reg := obs.Default()
+	spans := newSpanTracer(reg, d)
 	if metricsAddr != "" {
-		if _, err := serveObs(metricsAddr, reg, nil); err != nil {
+		if _, err := serveObs(metricsAddr, reg, nil, spans, d.pprof); err != nil {
 			return err
 		}
 	}
@@ -81,9 +84,41 @@ func runShip(serverAddr, srcDir, source, metricsAddr string, rate, chunkRows int
 		ChunkRows: chunkRows, ChunkDelay: chunkDelay,
 	}
 
+	dial := func() (net.Conn, error) { return net.DialTimeout("tcp", serverAddr, 2*time.Second) }
+	if faultDelayProb > 0 {
+		// Route every connection through a seeded fault link that delays
+		// frames per the schedule: bytes the shipper writes cross the
+		// fault net, then a goroutine bridge relays them onto the real
+		// TCP connection (and the reverse for reads). Exercises the
+		// slow-span diagnostics against genuine wire latency.
+		nw := fault.NewNet(fault.NetProfile{Seed: 1, DelayProb: faultDelayProb, MaxDelay: faultMaxDelay})
+		lis := nw.Listener()
+		tcpDial := dial
+		dial = func() (net.Conn, error) {
+			tcp, err := tcpDial()
+			if err != nil {
+				return nil, err
+			}
+			local, err := nw.Dial()
+			if err != nil {
+				tcp.Close()
+				return nil, err
+			}
+			far, err := lis.Accept()
+			if err != nil {
+				tcp.Close()
+				local.Close()
+				return nil, err
+			}
+			bridgeConns(far, tcp)
+			return local, nil
+		}
+		fmt.Printf("opdeltad: fault link enabled: delayprob=%g maxdelay=%s\n", faultDelayProb, faultMaxDelay)
+	}
+
 	sh := netrepl.NewShipper(netrepl.ShipperConfig{
 		Source: source,
-		Dial:   func() (net.Conn, error) { return net.DialTimeout("tcp", serverAddr, 2*time.Second) },
+		Dial:   dial,
 		Fetch:  oplog.Read,
 		SchemaOf: func(table string) (*catalog.Schema, error) {
 			t, err := src.Table(table)
@@ -94,6 +129,7 @@ func runShip(serverAddr, srcDir, source, metricsAddr string, rate, chunkRows int
 		},
 		Snapshot: snap,
 		Obs:      reg,
+		Spans:    spans,
 		Retry:    retry.Policy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Multiplier: 2, Jitter: 0.5},
 	})
 	fmt.Printf("opdeltad: shipping source %q from %s to %s\n", source, srcDir, serverAddr)
@@ -192,4 +228,17 @@ func runShip(serverAddr, srcDir, source, metricsAddr string, rate, chunkRows int
 	errMu.Lock()
 	defer errMu.Unlock()
 	return firstErr
+}
+
+// bridgeConns relays bytes between two connections until either side
+// closes, then closes both. Writes onto a fault NetConn run the fault
+// schedule, so frames relayed through the bridge inherit its delays.
+func bridgeConns(a, b net.Conn) {
+	relay := func(dst, src net.Conn) {
+		io.Copy(dst, src)
+		dst.Close()
+		src.Close()
+	}
+	go relay(a, b)
+	go relay(b, a)
 }

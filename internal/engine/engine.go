@@ -63,6 +63,14 @@ type Options struct {
 	// series so a process holding several engines on one registry
 	// (opdeltad: source + warehouse) keeps them apart.
 	ObsDB string
+	// RetentionMinAge, when positive, is the minimum version-history age
+	// automatic and checkpoint GC preserve: the GC watermark is clamped
+	// so commits younger than this stay AS OF readable, giving a
+	// predictable time-travel horizon. It also feeds the adaptive GC
+	// trigger, whose threshold scales with the version creation rate
+	// times the retention horizon. Zero keeps the classic behavior —
+	// history lives only until the oldest snapshot releases it.
+	RetentionMinAge time.Duration
 }
 
 func (o *Options) fill() {
@@ -176,6 +184,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.mvcc.snaps = txn.NewSnapshotRegistry(opts.Now)
 	reg.GaugeFunc("mvcc_oldest_snapshot_age_seconds", func() float64 {
 		return db.mvcc.snaps.OldestAge().Seconds()
+	}, labels...)
+	reg.GaugeFunc("mvcc_version_count", func() float64 {
+		return float64(db.VersionCount())
 	}, labels...)
 	if err := db.loadCatalog(); err != nil {
 		w.Close()

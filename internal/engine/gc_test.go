@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"opdelta/internal/obs"
+)
+
+// manualClock advances only when told, unlike logicalClock's
+// tick-per-call: retention and rate windows need exact control.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Date(2000, 3, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestRetentionMinAgeFloor: with a retention policy, even a full
+// quiescent GC sweep must keep commits younger than RetentionMinAge
+// time-travel readable; once they age past the horizon they become
+// reclaimable.
+func TestRetentionMinAgeFloor(t *testing.T) {
+	clock := newManualClock()
+	db := openTestDB(t, Options{Now: clock.Now, RetentionMinAge: time.Minute})
+	createParts(t, db)
+	lsn1 := commitRows(t, db, `INSERT INTO parts (part_id, qty) VALUES (1, 0)`)
+	for i := 1; i <= 5; i++ {
+		// Space commits past the stamp granularity so each lands its own
+		// retention sample.
+		clock.Advance(200 * time.Millisecond)
+		commitRows(t, db, fmt.Sprintf(`UPDATE parts SET qty = %d WHERE part_id = 1`, i))
+	}
+	before := db.VersionCount()
+	if before == 0 {
+		t.Fatal("expected version chains before GC")
+	}
+
+	// All history is younger than the retention horizon: a full sweep
+	// reclaims nothing and AS OF the first commit still reads.
+	clock.Advance(10 * time.Second)
+	db.VersionGC()
+	if n := db.VersionCount(); n != before {
+		t.Fatalf("versions after in-retention GC = %d, want %d untouched", n, before)
+	}
+	_, rows, err := db.Query(nil, fmt.Sprintf(`SELECT qty FROM parts AS OF %d`, lsn1))
+	if err != nil || len(rows) != 1 || rows[0][0].Int() != 0 {
+		t.Fatalf("AS OF inside retention = %v, %v (want qty 0)", rows, err)
+	}
+
+	// Past the horizon the same sweep reclaims, and the floor rises.
+	clock.Advance(2 * time.Minute)
+	db.VersionGC()
+	if n := db.VersionCount(); n != 0 {
+		t.Fatalf("versions after post-retention GC = %d, want 0", n)
+	}
+	if _, _, err := db.Query(nil, fmt.Sprintf(`SELECT * FROM parts AS OF %d`, lsn1)); err == nil ||
+		!strings.Contains(err.Error(), "snapshot too old") {
+		t.Fatalf("aged-out AS OF err = %v, want snapshot too old", err)
+	}
+}
+
+// TestAdaptiveGCThreshold: the automatic trigger's threshold starts at
+// the base and grows with the observed version creation rate times the
+// retention horizon.
+func TestAdaptiveGCThreshold(t *testing.T) {
+	clock := newManualClock()
+	db := openTestDB(t, Options{Now: clock.Now, RetentionMinAge: 10 * time.Second})
+	createParts(t, db)
+
+	if thr := db.gcThreshold(); thr != gcBaseThreshold {
+		t.Fatalf("initial threshold = %d, want base %d", thr, gcBaseThreshold)
+	}
+	// A burst of versions over one second: the EWMA blends in 20% of the
+	// instantaneous rate, and the 10s horizon scales it into the
+	// threshold.
+	for i := 0; i < 100; i++ {
+		commitRows(t, db, fmt.Sprintf(`INSERT INTO parts (part_id, qty) VALUES (%d, 0)`, i+1))
+	}
+	created := db.vm.Created.Value()
+	clock.Advance(time.Second)
+	thr := db.gcThreshold()
+	if thr <= gcBaseThreshold {
+		t.Fatalf("threshold after writes = %d, want > base %d", thr, gcBaseThreshold)
+	}
+	want := gcBaseThreshold + int64((1-gcRateBlend)*float64(created)*10)
+	if thr != want {
+		t.Fatalf("threshold = %d, want %d (base + 0.2*rate*horizon)", thr, want)
+	}
+	// Idle windows decay the estimate back toward the base.
+	for i := 0; i < 40; i++ {
+		clock.Advance(time.Second)
+		db.gcThreshold()
+	}
+	if thr := db.gcThreshold(); thr >= want {
+		t.Fatalf("threshold after idle = %d, want decayed below %d", thr, want)
+	}
+}
+
+// TestVersionCountGauge: the engine exports the live version population
+// the adaptive trigger reads.
+func TestVersionCountGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	db := openTestDB(t, Options{Obs: reg})
+	createParts(t, db)
+	commitRows(t, db, `INSERT INTO parts (part_id, qty) VALUES (1, 1), (2, 2)`)
+	m := reg.Snapshot().Get("mvcc_version_count")
+	if m == nil || m.Value != float64(db.VersionCount()) || m.Value == 0 {
+		t.Fatalf("mvcc_version_count = %v, want live count %d", m, db.VersionCount())
+	}
+}

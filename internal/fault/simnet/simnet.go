@@ -46,6 +46,7 @@ import (
 	"opdelta/internal/catalog"
 	"opdelta/internal/engine"
 	"opdelta/internal/fault"
+	"opdelta/internal/obs"
 	"opdelta/internal/opdelta"
 	netrepl "opdelta/internal/transport/net"
 	"opdelta/internal/transport/retry"
@@ -201,12 +202,18 @@ func Run(cfg Config) (*Report, error) {
 	}
 	integ := &warehouse.ParallelIntegrator{W: w, Workers: 2, Applied: applied}
 
+	// Every batch is traced (default 1-in-1 sampling): the soak doubles
+	// as a leak check on the persist→apply span handoff under faults.
+	spans := obs.NewSpanTracer(obs.NewRegistry(), 512)
+	pendingHandoffs := 0
+
 	topicDir := filepath.Join(root, "topics")
 	deadline := time.Now().Add(cfg.Timeout)
 	runPhase := func(seedShift int64, target func(acked func() uint64) bool) (*fault.NetStats, error) {
 		nw := fault.NewNet(withSeed(profile, cfg.Seed+seedShift))
 		srv := netrepl.NewServer(netrepl.ServerConfig{
 			Dir: topicDir, UnsafeAcceptOutOfOrder: cfg.UnsafeAcceptOutOfOrder,
+			Spans: spans,
 		})
 		serveDone := make(chan struct{})
 		go func() { defer close(serveDone); srv.Serve(nw.Listener()) }()
@@ -221,8 +228,9 @@ func Run(cfg Config) (*Report, error) {
 			Retry:      retry.Policy{Base: time.Millisecond, Cap: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.5},
 			AckTimeout: 40 * time.Millisecond,
 			PollEvery:  time.Millisecond,
+			Spans:      spans,
 		})
-		ap := &netrepl.Applier{Topic: topic, Integrator: integ, SchemaOf: schemaOf, PollEvery: time.Millisecond}
+		ap := &netrepl.Applier{Topic: topic, Integrator: integ, SchemaOf: schemaOf, PollEvery: time.Millisecond, Spans: spans}
 		stopShip := make(chan struct{})
 		stopApply := make(chan struct{})
 		var wg sync.WaitGroup
@@ -246,6 +254,7 @@ func Run(cfg Config) (*Report, error) {
 		close(stopShip)
 		close(stopApply)
 		wg.Wait()
+		pendingHandoffs = topic.PendingSpanHandoffs()
 		srv.Shutdown()
 		<-serveDone
 		stats := nw.Stats()
@@ -302,6 +311,15 @@ func Run(cfg Config) (*Report, error) {
 			return rep, nil
 		}
 		return rep, err
+	}
+
+	// Convergence dequeued every seq, so every registered span handoff
+	// must have been claimed — a residue is an applier-side span leak.
+	if pendingHandoffs != 0 {
+		return rep, fmt.Errorf("simnet seed %d: %d span handoffs leaked after convergence", cfg.Seed, pendingHandoffs)
+	}
+	if len(spans.Recent(1)) == 0 {
+		return rep, fmt.Errorf("simnet seed %d: converged run recorded no spans", cfg.Seed)
 	}
 
 	if rep.WarehouseDigest, err = tableDigest(wh, "parts"); err != nil {

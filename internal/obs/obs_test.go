@@ -180,6 +180,11 @@ func TestGoldenExposition(t *testing.T) {
 	h.Observe(0.0004)
 	h.Observe(0.002)
 	h.Observe(0.5)
+	// A labeled histogram: the label set must render identically on the
+	// _bucket, _sum and _count series.
+	lh := r.Histogram("span_stage_seconds", []float64{0.01, 0.1}, L("stage", "apply"))
+	lh.Observe(0.005)
+	lh.Observe(0.25)
 	r.GaugeFunc("storage_pool_hit_ratio", func() float64 { return 0.75 }, L("pool", "sales"))
 
 	got := r.Snapshot().Text()

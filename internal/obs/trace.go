@@ -124,6 +124,24 @@ type Trace struct {
 	locked   atomic.Int64
 	applied  atomic.Int64
 	durable  atomic.Int64
+
+	mu     sync.Mutex
+	onDone func(TraceRecord)
+}
+
+// SetOnDone registers a hook that receives the finished record when
+// Done runs. The netrepl applier uses it to hand a wire-propagated
+// span context into the parallel integrator's completion path: the
+// integrator stamps and finishes the trace as it always did, and the
+// hook converts the stamps into distributed spans. Call before the
+// trace can complete; last registration wins.
+func (tr *Trace) SetOnDone(fn func(TraceRecord)) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.onDone = fn
+	tr.mu.Unlock()
 }
 
 func (tr *Trace) stamp(slot *atomic.Int64) {
@@ -218,4 +236,11 @@ func (tr *Trace) Done() {
 		tr.t.full = true
 	}
 	tr.t.mu.Unlock()
+
+	tr.mu.Lock()
+	fn := tr.onDone
+	tr.mu.Unlock()
+	if fn != nil {
+		fn(rec)
+	}
 }

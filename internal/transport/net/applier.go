@@ -27,6 +27,12 @@ type Applier struct {
 	SchemaOf func(table string) (*catalog.Schema, error)
 	// Tracer, when set, traces each op's dequeue→durable lifecycle.
 	Tracer *obs.Tracer
+	// Spans, when set (together with Tracer), completes wire-propagated
+	// traces: a dequeued op claiming a span handoff emits
+	// queue/apply/durable spans when its lifecycle finishes, plus the
+	// skew-corrected end-to-end observation that drives the slow-span
+	// log.
+	Spans *obs.SpanTracer
 	// Bootstrap, when set, is this source's snapshot-bootstrap
 	// coordinator: the applier feeds it every applied batch (footprints
 	// + cursor) and polls it when idle, so chunk reconciliation runs on
@@ -62,6 +68,14 @@ func (a *Applier) Run(stop <-chan struct{}) error {
 	// lag the pipeline actually delivered, not a value that grows while
 	// the source is simply quiet.
 	freshness := reg.Gauge("netrepl_freshness_lag_us", l)
+	// Replication lag, raw and skew-corrected. Raw subtracts the
+	// source's capture timestamp from our clock — it silently includes
+	// the clock offset between the machines. Corrected subtracts the
+	// per-connection offset the shipper's NTP-style estimator reported
+	// (Topic.Skew), bounding the residual error by half the probe RTT.
+	lagRaw := reg.Histogram("netrepl_replication_lag_raw_seconds", obs.DurationBuckets, l)
+	lagCorrected := reg.Histogram("netrepl_replication_lag_seconds", obs.DurationBuckets, l)
+	lagGauge := reg.Gauge("netrepl_replication_lag_ns", l)
 	for {
 		var batch []*opdelta.Op
 		for len(batch) < batchOps {
@@ -78,6 +92,11 @@ func (a *Applier) Run(stop <-chan struct{}) error {
 			}
 			op.Trace = a.Tracer.Begin(op.Seq, op.Txn, op.Time)
 			op.Trace.Dequeued()
+			// Claim the span handoff for every dequeued op even when
+			// tracing is off here — an unclaimed handoff is an orphan.
+			if h := a.Topic.TakeSpanHandoff(op.Seq); h != nil && a.Spans != nil && op.Trace != nil {
+				a.hookSpans(op.Trace, h)
+			}
 			batch = append(batch, op)
 		}
 		if len(batch) == 0 {
@@ -102,6 +121,63 @@ func (a *Applier) Run(stop <-chan struct{}) error {
 		}
 		applied.Add(uint64(len(batch)))
 		last := batch[len(batch)-1]
-		freshness.Set(time.Since(last.Time).Microseconds())
+		raw := time.Since(last.Time)
+		freshness.Set(raw.Microseconds())
+		lagRaw.ObserveDuration(raw)
+		corrected := raw
+		if off, _, ok := a.Topic.Skew(); ok {
+			corrected -= time.Duration(off)
+		}
+		if corrected < 0 {
+			corrected = 0
+		}
+		lagCorrected.ObserveDuration(corrected)
+		lagGauge.Set(corrected.Nanoseconds())
 	}
+}
+
+// hookSpans arranges for the op's trace completion (stamped by the
+// integrator workers) to emit the server-side spans of its wire trace:
+// queue (durable on topic → dequeued), apply (dequeue/lock → applied),
+// durable (applied → fsynced), and the end-to-end freshness
+// observation corrected by the source's clock offset.
+func (a *Applier) hookSpans(tr *obs.Trace, h *SpanHandoff) {
+	spans, topic := a.Spans, a.Topic
+	tr.SetOnDone(func(rec obs.TraceRecord) {
+		tid := h.TC.TraceID
+		persistID := obs.SpanIDFor(tid, "persist")
+		queueID := obs.SpanIDFor(tid, "queue")
+		applyID := obs.SpanIDFor(tid, "apply")
+		durableID := obs.SpanIDFor(tid, "durable")
+		queueStart := h.PersistEndNs()
+		if queueStart == 0 {
+			queueStart = h.RecvNs // applier outran the persist stamp
+		}
+		if rec.Dequeued != 0 {
+			spans.Record(obs.SpanRecord{TraceID: tid, SpanID: queueID, ParentID: persistID,
+				Name: "queue", Source: topic.Source, Seq: rec.Seq,
+				StartUnixNs: queueStart, EndUnixNs: rec.Dequeued})
+		}
+		applyStart := rec.Locked
+		if applyStart == 0 {
+			applyStart = rec.Dequeued
+		}
+		if applyStart != 0 && rec.Applied != 0 {
+			spans.Record(obs.SpanRecord{TraceID: tid, SpanID: applyID, ParentID: queueID,
+				Name: "apply", Source: topic.Source, Seq: rec.Seq,
+				StartUnixNs: applyStart, EndUnixNs: rec.Applied})
+		}
+		if rec.Applied != 0 && rec.Durable != 0 {
+			spans.Record(obs.SpanRecord{TraceID: tid, SpanID: durableID, ParentID: applyID,
+				Name: "durable", Source: topic.Source, Seq: rec.Seq,
+				StartUnixNs: rec.Applied, EndUnixNs: rec.Durable})
+		}
+		if rec.Durable != 0 && h.TC.CaptureUnixNs != 0 {
+			lag := rec.Durable - h.TC.CaptureUnixNs
+			if off, _, ok := topic.Skew(); ok {
+				lag -= off
+			}
+			spans.ObserveE2E(tid, topic.Source, rec.Seq, lag)
+		}
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"opdelta/internal/catalog"
 	"opdelta/internal/keyset"
@@ -65,6 +66,10 @@ type Bootstrapper struct {
 	// resurrection/lost-update failure mode stays demonstrable (à la
 	// UnsafeAcceptOutOfOrder). Never set outside tests.
 	BrokenChunkWins bool
+	// Spans, when set, closes a traced chunk's span chain: its commit
+	// records a "chunk-settle" span from frame receipt to durable
+	// apply, parented under the shipper's wire span. Nil disables it.
+	Spans *obs.SpanTracer
 
 	once sync.Once
 
@@ -124,6 +129,11 @@ type pendChunk struct {
 	lastKey   []byte
 	rows      [][]byte
 	accum     map[string]accEntry
+
+	// Wire trace context of the latest traced chunk frame, if any:
+	// the settle span covers receipt to durable commit.
+	tc     obs.TraceContext
+	recvNs int64
 }
 
 func (b *Bootstrapper) init() {
@@ -231,7 +241,9 @@ func (b *Bootstrapper) Active() bool {
 // goroutine (Observe/Poll), which serializes reconciliation against
 // delta application. An error means the payload is malformed; stale or
 // unexpected frames are dropped silently (duplication is normal).
-func (b *Bootstrapper) Deliver(typ byte, payload []byte) error {
+// tc/recvNs carry a traced chunk's wire span context (zero when the
+// frame was untraced).
+func (b *Bootstrapper) Deliver(typ byte, payload []byte, tc obs.TraceContext, recvNs int64) error {
 	b.init()
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -267,6 +279,9 @@ func (b *Bootstrapper) Deliver(typ byte, payload []byte) error {
 		p.rows = make([][]byte, len(rows))
 		for i, r := range rows {
 			p.rows[i] = append([]byte(nil), r...)
+		}
+		if !tc.Zero() {
+			p.tc, p.recvNs = tc, recvNs
 		}
 	default:
 		return fmt.Errorf("%w: unexpected bootstrap frame %s", ErrBadFrame, frameName(typ))
@@ -468,6 +483,13 @@ func (b *Bootstrapper) evaluate() error {
 	}
 	b.chunksTotal.Inc()
 	b.rowsTotal.Add(uint64(len(rows)))
+	if !p.tc.Zero() {
+		b.Spans.Record(obs.SpanRecord{
+			TraceID: p.tc.TraceID, SpanID: obs.SpanIDFor(p.tc.TraceID, "chunk-settle"),
+			ParentID: p.tc.SpanID, Name: "chunk-settle", Source: b.Source, Seq: p.id,
+			StartUnixNs: p.recvNs, EndUnixNs: time.Now().UnixNano(),
+		})
+	}
 	b.lastDone = p.id
 	low := p.low
 	b.pend = nil

@@ -154,7 +154,7 @@ func TestBootstrapReconciliationUnit(t *testing.T) {
 	// Round 1: low=5, stale rows, high=12.
 	deliver := func(typ byte, payload []byte) {
 		t.Helper()
-		if err := rig.boot.Deliver(typ, payload); err != nil {
+		if err := rig.boot.Deliver(typ, payload, obs.TraceContext{}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -261,7 +261,7 @@ func TestBootstrapReconciliationUnitBroken(t *testing.T) {
 		{FrameSnapshotChunk, chunkPayload(1, 1, chunkFinal|chunkRunDone, "parts", lastKey, staleRows)},
 		{FrameWatermark, watermarkPayload(wmHigh, 1, 1, 12)},
 	} {
-		if err := rig.boot.Deliver(f.typ, f.payload); err != nil {
+		if err := rig.boot.Deliver(f.typ, f.payload, obs.TraceContext{}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

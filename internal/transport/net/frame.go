@@ -28,14 +28,26 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"opdelta/internal/obs"
 )
 
 // Protocol version, sent in HELLO and checked by the server. Version 2
 // adds snapshot bootstrap: HELLO carries the source log's truncation
 // base, WELCOME carries a mode byte plus per-table bootstrap progress,
 // and the WATERMARK / SNAPSHOT_CHUNK / CHUNK_ACK frames bracket chunked
-// state transfer with low/high watermarks (DBLog-style).
-const Version = 2
+// state transfer with low/high watermarks (DBLog-style). Version 3
+// adds tracing and clock-skew estimation: HELLO carries the client's
+// send timestamp, WELCOME echoes it with the server's receive/send
+// pair (the first NTP-style exchange), HEARTBEAT probes carry further
+// exchanges plus the client's current offset estimate, and DELTA /
+// SNAPSHOT_CHUNK frames may carry a FlagTrace span-context trailer.
+// The server accepts version-2 peers unchanged — every v3 field is
+// either version-gated or flag-gated, so old peers never see it.
+const (
+	Version    = 3
+	minVersion = 2
+)
 
 // Frame types.
 const (
@@ -82,6 +94,12 @@ const (
 // FlagReply marks a frame as a response to a peer probe (heartbeat
 // echo).
 const FlagReply = byte(1)
+
+// FlagTrace marks a DELTA or SNAPSHOT_CHUNK payload as ending in a
+// trace-context trailer (see appendTraceTrailer). Flag-gated so a
+// sender that is not sampling — or an old peer — produces payloads
+// byte-identical to version 2.
+const FlagTrace = byte(1 << 1)
 
 const headerSize = 10
 
@@ -197,30 +215,42 @@ type BootstrapProgress struct {
 }
 
 // helloPayload encodes HELLO: version byte, uvarint source-log
-// truncation base, source id.
-func helloPayload(source string, base uint64) []byte {
-	out := make([]byte, 0, 1+binary.MaxVarintLen64+len(source))
+// truncation base, 8-byte client send timestamp (unix ns, version 3 —
+// inserted before the source because the source id is the unbounded
+// payload tail), source id.
+func helloPayload(source string, base uint64, sendUnixNs int64) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+8+len(source))
 	out = append(out, Version)
 	out = binary.AppendUvarint(out, base)
+	out = binary.LittleEndian.AppendUint64(out, uint64(sendUnixNs))
 	return append(out, source...)
 }
 
 // parseHello decodes a HELLO payload. A version-1 payload (no base
 // field) parses with base 0 so the server can name the version in its
-// REJECT instead of dropping the connection on a frame error.
-func parseHello(p []byte) (version byte, base uint64, source string, err error) {
+// REJECT instead of dropping the connection on a frame error; a
+// version-2 payload parses with sendUnixNs 0 (no skew exchange).
+func parseHello(p []byte) (version byte, base uint64, sendUnixNs int64, source string, err error) {
 	if len(p) < 2 {
-		return 0, 0, "", fmt.Errorf("%w: HELLO too short", ErrBadFrame)
+		return 0, 0, 0, "", fmt.Errorf("%w: HELLO too short", ErrBadFrame)
 	}
 	version = p[0]
 	if version < 2 {
-		return version, 0, string(p[1:]), nil
+		return version, 0, 0, string(p[1:]), nil
 	}
 	base, k := binary.Uvarint(p[1:])
 	if k <= 0 || len(p) < 1+k+1 {
-		return 0, 0, "", fmt.Errorf("%w: HELLO base", ErrBadFrame)
+		return 0, 0, 0, "", fmt.Errorf("%w: HELLO base", ErrBadFrame)
 	}
-	return version, base, string(p[1+k:]), nil
+	pos := 1 + k
+	if version >= 3 {
+		if len(p) < pos+8+1 {
+			return 0, 0, 0, "", fmt.Errorf("%w: HELLO timestamp", ErrBadFrame)
+		}
+		sendUnixNs = int64(binary.LittleEndian.Uint64(p[pos : pos+8]))
+		pos += 8
+	}
+	return version, base, sendUnixNs, string(p[pos:]), nil
 }
 
 // appendBlob appends a uvarint-length-prefixed byte string.
@@ -240,10 +270,36 @@ func takeBlob(p []byte, pos int) ([]byte, int, error) {
 	return p[pos : pos+int(l)], pos + int(l), nil
 }
 
-// welcomePayload encodes WELCOME: 8-byte resume seq, mode byte, and in
+// skewTimes carries one NTP-style timestamp exchange: t0 the client's
+// probe send, t1 the server's probe receive, t2 the server's reply
+// send (all unix ns; t0 on the client clock, t1/t2 on the server's).
+// The client adds t3 — its reply receive — and feeds a SkewEstimator.
+type skewTimes struct {
+	T0, T1, T2 int64
+}
+
+func appendSkewTimes(out []byte, ts skewTimes) []byte {
+	out = binary.LittleEndian.AppendUint64(out, uint64(ts.T0))
+	out = binary.LittleEndian.AppendUint64(out, uint64(ts.T1))
+	return binary.LittleEndian.AppendUint64(out, uint64(ts.T2))
+}
+
+const skewTimesLen = 24
+
+func parseSkewTimes(p []byte) skewTimes {
+	return skewTimes{
+		T0: int64(binary.LittleEndian.Uint64(p[0:8])),
+		T1: int64(binary.LittleEndian.Uint64(p[8:16])),
+		T2: int64(binary.LittleEndian.Uint64(p[16:24])),
+	}
+}
+
+// welcomePayload encodes WELCOME: 8-byte resume seq, mode byte, in
 // ModeBootstrap a uvarint table count followed by per-table progress
-// (blob table name, state byte 0=in-progress 1=done, blob last key).
-func welcomePayload(seq uint64, mode byte, progress []BootstrapProgress) []byte {
+// (blob table name, state byte 0=in-progress 1=done, blob last key),
+// and — for version-3 clients — a fixed 24-byte timestamp exchange
+// (ts non-nil) completing the HELLO's skew probe.
+func welcomePayload(seq uint64, mode byte, progress []BootstrapProgress, ts *skewTimes) []byte {
 	out := make([]byte, 0, 16)
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], seq)
@@ -261,39 +317,43 @@ func welcomePayload(seq uint64, mode byte, progress []BootstrapProgress) []byte 
 			out = appendBlob(out, pr.LastKey)
 		}
 	}
+	if ts != nil {
+		out = appendSkewTimes(out, *ts)
+	}
 	return out
 }
 
 // parseWelcome decodes a WELCOME payload. A bare 8-byte payload (the
-// version-1 shape) parses as ModeStream.
-func parseWelcome(p []byte) (seq uint64, mode byte, progress []BootstrapProgress, err error) {
+// version-1 shape) parses as ModeStream; exactly 24 bytes beyond the
+// structural fields are the version-3 timestamp exchange.
+func parseWelcome(p []byte) (seq uint64, mode byte, progress []BootstrapProgress, ts *skewTimes, err error) {
 	if len(p) < 8 {
-		return 0, 0, nil, fmt.Errorf("%w: WELCOME %d bytes", ErrBadFrame, len(p))
+		return 0, 0, nil, nil, fmt.Errorf("%w: WELCOME %d bytes", ErrBadFrame, len(p))
 	}
 	seq = binary.LittleEndian.Uint64(p[:8])
 	if len(p) == 8 {
-		return seq, ModeStream, nil, nil
+		return seq, ModeStream, nil, nil, nil
 	}
 	mode = p[8]
 	pos := 9
 	if mode == ModeBootstrap {
 		n, k := binary.Uvarint(p[pos:])
 		if k <= 0 {
-			return 0, 0, nil, fmt.Errorf("%w: WELCOME table count", ErrBadFrame)
+			return 0, 0, nil, nil, fmt.Errorf("%w: WELCOME table count", ErrBadFrame)
 		}
 		pos += k
 		for i := uint64(0); i < n; i++ {
 			var table, key []byte
 			if table, pos, err = takeBlob(p, pos); err != nil {
-				return 0, 0, nil, err
+				return 0, 0, nil, nil, err
 			}
 			if pos >= len(p) {
-				return 0, 0, nil, fmt.Errorf("%w: WELCOME progress state", ErrBadFrame)
+				return 0, 0, nil, nil, fmt.Errorf("%w: WELCOME progress state", ErrBadFrame)
 			}
 			state := p[pos]
 			pos++
 			if key, pos, err = takeBlob(p, pos); err != nil {
-				return 0, 0, nil, err
+				return 0, 0, nil, nil, err
 			}
 			pr := BootstrapProgress{Table: string(table), Done: state == 1}
 			if len(key) > 0 {
@@ -302,10 +362,68 @@ func parseWelcome(p []byte) (seq uint64, mode byte, progress []BootstrapProgress
 			progress = append(progress, pr)
 		}
 	}
-	if pos != len(p) {
-		return 0, 0, nil, fmt.Errorf("%w: WELCOME trailing bytes", ErrBadFrame)
+	switch len(p) - pos {
+	case 0:
+	case skewTimesLen:
+		t := parseSkewTimes(p[pos:])
+		ts = &t
+		pos += skewTimesLen
+	default:
+		return 0, 0, nil, nil, fmt.Errorf("%w: WELCOME trailing bytes", ErrBadFrame)
 	}
-	return seq, mode, progress, nil
+	return seq, mode, progress, ts, nil
+}
+
+// Heartbeat payloads (version 3). A probe carries the client's send
+// time plus its current skew estimate, so the server learns the
+// offset the client computed from earlier exchanges; the echo carries
+// the full three-timestamp exchange back. Version-2 heartbeats have
+// empty payloads and are echoed empty.
+
+// probePayload encodes a HEARTBEAT probe: 8-byte send time, 8-byte
+// offset estimate (server−client ns), 8-byte RTT of that estimate's
+// sample, 1-byte has-estimate.
+func probePayload(sendUnixNs, offsetNs, rttNs int64, hasEstimate bool) []byte {
+	out := make([]byte, 0, 25)
+	out = binary.LittleEndian.AppendUint64(out, uint64(sendUnixNs))
+	out = binary.LittleEndian.AppendUint64(out, uint64(offsetNs))
+	out = binary.LittleEndian.AppendUint64(out, uint64(rttNs))
+	if hasEstimate {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+const probeLen = 25
+
+// parseProbe decodes a HEARTBEAT probe; ok is false for the empty
+// version-2 payload (or anything else unrecognized — heartbeats are
+// liveness first, measurement second).
+func parseProbe(p []byte) (sendUnixNs, offsetNs, rttNs int64, hasEstimate, ok bool) {
+	if len(p) != probeLen {
+		return 0, 0, 0, false, false
+	}
+	return int64(binary.LittleEndian.Uint64(p[0:8])),
+		int64(binary.LittleEndian.Uint64(p[8:16])),
+		int64(binary.LittleEndian.Uint64(p[16:24])),
+		p[24] == 1, true
+}
+
+// echoPayload encodes a HEARTBEAT echo: the probe's timestamp
+// exchange.
+func echoPayload(ts skewTimes) []byte {
+	return appendSkewTimes(make([]byte, 0, skewTimesLen), ts)
+}
+
+// parseEcho decodes a HEARTBEAT echo; ok is false for the empty
+// version-2 echo.
+func parseEcho(p []byte) (ts skewTimes, ok bool) {
+	if len(p) != skewTimesLen {
+		return skewTimes{}, false
+	}
+	return parseSkewTimes(p), true
 }
 
 // Watermark kinds.
@@ -559,4 +677,41 @@ func opSeq(enc []byte) (uint64, error) {
 		return 0, fmt.Errorf("%w: encoded op %d bytes", ErrBadFrame, len(enc))
 	}
 	return binary.LittleEndian.Uint64(enc[0:8]), nil
+}
+
+// Trace-context trailer (version 3). When a frame's FlagTrace bit is
+// set, the last 24 bytes of its payload are the span context: 8-byte
+// trace id, 8-byte sending span id, 8-byte capture timestamp (unix
+// ns, sender's clock). The trailer sits outside the structural
+// payload — the DELTA/CHUNK codecs never see it — and inside the
+// frame CRC, so a torn trailer is a frame error, never a silently
+// corrupt trace id.
+const traceTrailerLen = 24
+
+// appendTraceTrailer appends the span context to a payload; the
+// frame's flags must carry FlagTrace.
+func appendTraceTrailer(payload []byte, tc obs.TraceContext) []byte {
+	payload = binary.LittleEndian.AppendUint64(payload, tc.TraceID)
+	payload = binary.LittleEndian.AppendUint64(payload, tc.SpanID)
+	return binary.LittleEndian.AppendUint64(payload, uint64(tc.CaptureUnixNs))
+}
+
+// splitTraceTrailer strips the trailer when flags carry FlagTrace,
+// returning the context and the structural payload. Without the flag
+// the payload passes through untouched with a zero context — old
+// senders and unsampled frames take this path.
+func splitTraceTrailer(flags byte, payload []byte) (obs.TraceContext, []byte, error) {
+	if flags&FlagTrace == 0 {
+		return obs.TraceContext{}, payload, nil
+	}
+	if len(payload) < traceTrailerLen {
+		return obs.TraceContext{}, nil, fmt.Errorf("%w: trace trailer truncated (%d bytes)", ErrBadFrame, len(payload))
+	}
+	cut := len(payload) - traceTrailerLen
+	tc := obs.TraceContext{
+		TraceID:       binary.LittleEndian.Uint64(payload[cut : cut+8]),
+		SpanID:        binary.LittleEndian.Uint64(payload[cut+8 : cut+16]),
+		CaptureUnixNs: int64(binary.LittleEndian.Uint64(payload[cut+16 : cut+24])),
+	}
+	return tc, payload[:cut], nil
 }

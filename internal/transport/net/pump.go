@@ -3,6 +3,8 @@ package netrepl
 import (
 	"net"
 	"time"
+
+	"opdelta/internal/obs"
 )
 
 // Pump states: read the next chunk (or chase), wait for the high
@@ -50,6 +52,7 @@ type bootPump struct {
 	fence     uint64
 	sentAt    time.Time
 	nextAt    time.Time
+	readNs    int64 // when this round's chunk read started (span start)
 }
 
 // newBootPump plans the remaining work from the replica's durable
@@ -92,6 +95,7 @@ func (p *bootPump) step(conn net.Conn, now time.Time) (sent bool, err error) {
 		}
 		// Low watermark first: every committed op ≤ low is visible to
 		// the read that follows.
+		p.readNs = now.UnixNano()
 		p.low = snap.Low()
 		if p.chase {
 			p.rows, err = snap.ReadKeys(p.table, p.chaseKeys)
@@ -127,9 +131,27 @@ func (p *bootPump) step(conn net.Conn, now time.Time) (sent bool, err error) {
 		if p.final && len(p.plan) == 1 {
 			flags |= chunkRunDone
 		}
+		// Chunk traces parallel delta traces: the "chunk" span covers
+		// read-to-send at the source, the trailer hands the context to
+		// the replica's settle span. The ID mixes a distinct namespace
+		// into the source so chunk IDs cannot collide with op seqs.
+		body := chunkPayload(p.chunkID, p.round, flags, p.table, p.lastKey, p.rows)
+		frameFlags := byte(0)
+		traceID := obs.TraceID(p.sh.cfg.Source+"/chunk", p.chunkID)
+		if p.sh.cfg.Spans.Sampled(traceID) {
+			body = appendTraceTrailer(body, obs.TraceContext{
+				TraceID: traceID, SpanID: obs.SpanIDFor(traceID, "chunk"), CaptureUnixNs: p.readNs})
+			frameFlags |= FlagTrace
+		}
 		conn.SetWriteDeadline(now.Add(p.sh.cfg.AckTimeout))
-		if err := WriteFrame(conn, FrameSnapshotChunk, 0, chunkPayload(p.chunkID, p.round, flags, p.table, p.lastKey, p.rows)); err != nil {
+		if err := WriteFrame(conn, FrameSnapshotChunk, frameFlags, body); err != nil {
 			return false, errReconnect
+		}
+		if frameFlags&FlagTrace != 0 {
+			p.sh.cfg.Spans.Record(obs.SpanRecord{
+				TraceID: traceID, SpanID: obs.SpanIDFor(traceID, "chunk"), Name: "chunk",
+				Source: p.sh.cfg.Source, Seq: p.chunkID,
+				StartUnixNs: p.readNs, EndUnixNs: time.Now().UnixNano()})
 		}
 		if err := WriteFrame(conn, FrameWatermark, 0, watermarkPayload(wmHigh, p.chunkID, p.round, high)); err != nil {
 			return false, errReconnect

@@ -410,7 +410,7 @@ func TestServerBusyAndReject(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	if err := WriteFrame(c1, FrameHello, 0, helloPayload("only", 0)); err != nil {
+	if err := WriteFrame(c1, FrameHello, 0, helloPayload("only", 0, 0)); err != nil {
 		t.Fatal(err)
 	}
 	typ, _, payload, err := ReadFrame(c1)
@@ -466,7 +466,7 @@ func TestServerDedupReplayedBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := WriteFrame(conn, FrameHello, 0, helloPayload("dup-src", 0)); err != nil {
+	if err := WriteFrame(conn, FrameHello, 0, helloPayload("dup-src", 0, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if typ, _, _, err := ReadFrame(conn); err != nil || typ != FrameWelcome {

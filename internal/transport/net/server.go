@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"opdelta/internal/fault"
@@ -41,6 +42,10 @@ type ServerConfig struct {
 	// stuck with an unreplayable gap. Nil disables bootstrap (such a
 	// HELLO is rejected).
 	Bootstrap func(source string) (*Bootstrapper, error)
+	// Spans, when set, continues wire-propagated traces: a traced DELTA
+	// gets a "persist" span and a span handoff the applier completes.
+	// Nil disables tracing (trailers are still stripped and ignored).
+	Spans *obs.SpanTracer
 	// UnsafeAcceptOutOfOrder disables the DELTA chain check (prevSeq
 	// must equal the topic watermark). With it off, a reordered batch
 	// advances the watermark past ops that never arrived and the skipped
@@ -80,14 +85,15 @@ type Server struct {
 	closed  bool
 	serveWG sync.WaitGroup
 
-	connects    *obs.Counter
-	busy        *obs.Counter
-	rejects     *obs.Counter
-	connsGauge  *obs.Gauge
-	badFrames   *obs.Counter
-	enqueuedOps *obs.Counter
-	redelivered *obs.Counter
-	outOfOrder  *obs.Counter
+	connects       *obs.Counter
+	busy           *obs.Counter
+	rejects        *obs.Counter
+	connsGauge     *obs.Gauge
+	badFrames      *obs.Counter
+	enqueuedOps    *obs.Counter
+	redelivered    *obs.Counter
+	outOfOrder     *obs.Counter
+	handoffDropped *obs.Counter
 }
 
 // NewServer creates a replication server; call Serve with a listener
@@ -104,6 +110,7 @@ func NewServer(cfg ServerConfig) *Server {
 	s.enqueuedOps = reg.Counter("netrepl_server_enqueued_ops_total")
 	s.redelivered = reg.Counter("netrepl_server_redelivered_ops_total")
 	s.outOfOrder = reg.Counter("netrepl_server_out_of_order_batches_total")
+	s.handoffDropped = reg.Counter("netrepl_span_handoff_dropped_total")
 	return s
 }
 
@@ -116,13 +123,115 @@ type Topic struct {
 
 	mu      sync.Mutex
 	lastSeq uint64
+
+	// Clock-skew estimate for the topic's source, reported by the
+	// shipper on HEARTBEAT probes: offset = our (server) clock − the
+	// source's clock, as the shipper's NTP-style estimator computed
+	// it. The applier subtracts it from raw capture-to-now lag.
+	skewMu     sync.Mutex
+	skewOffset int64
+	skewRtt    int64
+	skewOK     bool
+
+	// Span handoffs carry a traced batch's wire context from the
+	// connection goroutine (which persisted it) to the applier (which
+	// will apply it), keyed by the batch's last fresh seq. Bounded: a
+	// handoff whose op never dequeues (connection died mid-append)
+	// must not leak.
+	handoffMu sync.Mutex
+	handoffs  map[uint64]*SpanHandoff
 }
+
+// maxSpanHandoffs bounds a topic's pending handoff map; beyond it the
+// lowest-seq (oldest) handoff is evicted as dropped.
+const maxSpanHandoffs = 1024
+
+// SpanHandoff is one traced batch's context in flight between persist
+// and apply.
+type SpanHandoff struct {
+	TC     obs.TraceContext
+	RecvNs int64 // frame receive time: the persist span's start
+
+	persistEnd atomic.Int64 // set once the append is durable; 0 until then
+}
+
+// PersistEndNs returns when the batch became durable on the topic, or
+// 0 if the applier won the race with the connection goroutine.
+func (h *SpanHandoff) PersistEndNs() int64 { return h.persistEnd.Load() }
 
 // LastSeq returns the highest op seq durably enqueued on the topic.
 func (t *Topic) LastSeq() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.lastSeq
+}
+
+// SetSkew records the shipper-reported clock offset for this source.
+func (t *Topic) SetSkew(offsetNs, rttNs int64) {
+	t.skewMu.Lock()
+	t.skewOffset, t.skewRtt, t.skewOK = offsetNs, rttNs, true
+	t.skewMu.Unlock()
+}
+
+// Skew returns the current offset estimate (server − source, ns) and
+// the RTT bound of the sample it came from; ok is false before any
+// probe reported one.
+func (t *Topic) Skew() (offsetNs, rttNs int64, ok bool) {
+	t.skewMu.Lock()
+	defer t.skewMu.Unlock()
+	return t.skewOffset, t.skewRtt, t.skewOK
+}
+
+// putSpanHandoff registers a handoff for the op seq that ends a traced
+// batch, evicting the oldest entry when full. Returns the number of
+// handoffs dropped by eviction.
+func (t *Topic) putSpanHandoff(seq uint64, h *SpanHandoff) int {
+	t.handoffMu.Lock()
+	defer t.handoffMu.Unlock()
+	if t.handoffs == nil {
+		t.handoffs = make(map[uint64]*SpanHandoff)
+	}
+	dropped := 0
+	for len(t.handoffs) >= maxSpanHandoffs {
+		var min uint64
+		for s := range t.handoffs {
+			if min == 0 || s < min {
+				min = s
+			}
+		}
+		delete(t.handoffs, min)
+		dropped++
+	}
+	t.handoffs[seq] = h
+	return dropped
+}
+
+// dropSpanHandoff removes a handoff whose batch failed to persist.
+func (t *Topic) dropSpanHandoff(seq uint64) {
+	t.handoffMu.Lock()
+	delete(t.handoffs, seq)
+	t.handoffMu.Unlock()
+}
+
+// TakeSpanHandoff claims (and removes) the handoff for seq, if any.
+// The applier calls it for every dequeued op; a miss is the common
+// case (unsampled batches, mid-batch ops).
+func (t *Topic) TakeSpanHandoff(seq uint64) *SpanHandoff {
+	t.handoffMu.Lock()
+	defer t.handoffMu.Unlock()
+	h := t.handoffs[seq]
+	if h != nil {
+		delete(t.handoffs, seq)
+	}
+	return h
+}
+
+// PendingSpanHandoffs counts handoffs registered but not yet claimed —
+// after a drained run it must be zero or spans have been orphaned.
+func (t *Topic) PendingSpanHandoffs() int {
+	t.handoffMu.Lock()
+	defer t.handoffMu.Unlock()
+	return len(t.handoffs)
 }
 
 // Topic opens (or creates) the source's topic. Safe for concurrent
@@ -157,6 +266,9 @@ func (s *Server) Topic(source string) (*Topic, error) {
 	s.topics[source] = t
 	s.cfg.Obs.GaugeFunc("netrepl_server_last_seq", func() float64 {
 		return float64(t.LastSeq())
+	}, obs.L("source", source))
+	s.cfg.Obs.GaugeFunc("netrepl_span_handoff_pending", func() float64 {
+		return float64(t.PendingSpanHandoffs())
 	}, obs.L("source", source))
 	return t, nil
 }
@@ -234,13 +346,14 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Now().Add(s.cfg.Lease))
 	typ, _, payload, err := ReadFrame(conn)
+	helloRecvNs := time.Now().UnixNano()
 	if err != nil || typ != FrameHello {
 		s.badFrames.Inc()
 		return
 	}
-	version, base, source, err := parseHello(payload)
-	if err != nil || source == "" || version != Version {
-		reason := fmt.Sprintf("unsupported version %d (want %d)", version, Version)
+	version, base, helloSendNs, source, err := parseHello(payload)
+	if err != nil || source == "" || version < minVersion || version > Version {
+		reason := fmt.Sprintf("unsupported version %d (want %d-%d)", version, minVersion, Version)
 		if err != nil || source == "" {
 			reason = "missing source id"
 		}
@@ -280,12 +393,19 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	s.connects.Inc()
-	if err := send(FrameWelcome, 0, welcomePayload(topic.LastSeq(), mode, progress)); err != nil {
+	// A version-3 peer gets the HELLO's timestamps echoed back with our
+	// receive/send pair — the first skew exchange of the connection.
+	var wts *skewTimes
+	if version >= 3 {
+		wts = &skewTimes{T0: helloSendNs, T1: helloRecvNs, T2: time.Now().UnixNano()}
+	}
+	if err := send(FrameWelcome, 0, welcomePayload(topic.LastSeq(), mode, progress, wts)); err != nil {
 		return
 	}
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.Lease))
-		typ, _, payload, err := ReadFrame(conn)
+		typ, flags, payload, err := ReadFrame(conn)
+		recvNs := time.Now().UnixNano()
 		if err != nil {
 			if errors.Is(err, ErrBadFrame) {
 				// The framing is broken — resynchronizing mid-stream is
@@ -296,7 +416,12 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch typ {
 		case FrameDelta:
-			ack, err := s.enqueue(topic, payload)
+			tc, body, err := splitTraceTrailer(flags, payload)
+			if err != nil {
+				s.badFrames.Inc()
+				return
+			}
+			ack, err := s.enqueue(topic, body, tc, recvNs)
 			if err != nil {
 				s.badFrames.Inc()
 				return
@@ -309,15 +434,32 @@ func (s *Server) handle(conn net.Conn) {
 				s.badFrames.Inc()
 				return
 			}
+			tc, body, err := splitTraceTrailer(flags, payload)
+			if err != nil {
+				s.badFrames.Inc()
+				return
+			}
 			// Buffer only: reconciliation runs on the applier goroutine
 			// (Observe/Poll), serialized against delta application. The
 			// verdict is pushed later through send as a CHUNK_ACK.
-			if err := boot.Deliver(typ, payload); err != nil {
+			if err := boot.Deliver(typ, body, tc, recvNs); err != nil {
 				s.badFrames.Inc()
 				return
 			}
 		case FrameHeartbeat:
-			if err := send(FrameHeartbeat, FlagReply, nil); err != nil {
+			// A version-3 probe carries the shipper's send time and its
+			// current offset estimate: store the estimate on the topic for
+			// the applier's corrected lag, echo the exchange back. Empty
+			// (version-2) probes get the empty echo they expect.
+			if t0, off, rtt, has, ok := parseProbe(payload); ok {
+				if has {
+					topic.SetSkew(off, rtt)
+				}
+				echo := echoPayload(skewTimes{T0: t0, T1: recvNs, T2: time.Now().UnixNano()})
+				if err := send(FrameHeartbeat, FlagReply, echo); err != nil {
+					return
+				}
+			} else if err := send(FrameHeartbeat, FlagReply, nil); err != nil {
 				return
 			}
 		case FrameShutdown:
@@ -333,7 +475,13 @@ func (s *Server) handle(conn net.Conn) {
 // the seq to ack. The topic mutex spans parse-filter-append so two
 // connections for one source (an old half-dead one plus its
 // replacement) cannot interleave appends out of seq order.
-func (s *Server) enqueue(topic *Topic, payload []byte) (uint64, error) {
+//
+// tc/recvNs carry the batch's trace context: for a traced batch with
+// fresh ops a span handoff is registered under the batch's last seq
+// BEFORE the append — the applier polls the queue concurrently and
+// could dequeue the op the instant Append returns, so registering
+// after would race the claim and orphan the span.
+func (s *Server) enqueue(topic *Topic, payload []byte, tc obs.TraceContext, recvNs int64) (uint64, error) {
 	prevSeq, encOps, err := parseDelta(payload)
 	if err != nil {
 		return 0, err
@@ -351,10 +499,31 @@ func (s *Server) enqueue(topic *Topic, payload []byte) (uint64, error) {
 		s.outOfOrder.Inc()
 		return topic.lastSeq, nil
 	}
+	// Register the handoff only when the batch will land fresh ops: a
+	// pure redelivery was traced on its first arrival (or predates this
+	// process) and must not park a handoff no dequeue will ever claim.
+	var handoff *SpanHandoff
+	var handoffSeq uint64
+	if !tc.Zero() && len(encOps) > 0 {
+		last, err := opSeq(encOps[len(encOps)-1])
+		if err != nil {
+			return 0, err
+		}
+		if last > topic.lastSeq {
+			handoff = &SpanHandoff{TC: tc, RecvNs: recvNs}
+			handoffSeq = last
+			if dropped := topic.putSpanHandoff(last, handoff); dropped > 0 {
+				s.handoffDropped.Add(uint64(dropped))
+			}
+		}
+	}
 	fresh := 0
 	for _, enc := range encOps {
 		seq, err := opSeq(enc)
 		if err != nil {
+			if handoff != nil {
+				topic.dropSpanHandoff(handoffSeq)
+			}
 			return 0, err
 		}
 		if seq <= topic.lastSeq {
@@ -364,10 +533,22 @@ func (s *Server) enqueue(topic *Topic, payload []byte) (uint64, error) {
 		// Append is durable on return (group-synced fsync), so acking
 		// lastSeq after this loop acks only durable ops.
 		if err := topic.Q.Append(enc); err != nil {
+			if handoff != nil {
+				topic.dropSpanHandoff(handoffSeq)
+			}
 			return 0, err
 		}
 		topic.lastSeq = seq
 		fresh++
+	}
+	if handoff != nil {
+		end := time.Now().UnixNano()
+		handoff.persistEnd.Store(end)
+		s.cfg.Spans.Record(obs.SpanRecord{
+			TraceID: tc.TraceID, SpanID: obs.SpanIDFor(tc.TraceID, "persist"), ParentID: tc.SpanID,
+			Name: "persist", Source: topic.Source, Seq: handoffSeq,
+			StartUnixNs: recvNs, EndUnixNs: end,
+		})
 	}
 	s.enqueuedOps.Add(uint64(fresh))
 	if fresh > 0 && s.cfg.OnEnqueue != nil {

@@ -34,6 +34,11 @@ type ShipperConfig struct {
 	// watermark-bracketed chunk reads with the live delta stream,
 	// never pausing either. Nil ships deltas only.
 	Snapshot *opdelta.Snapshotter
+	// Spans, when set, records capture/ship spans for head-sampled
+	// batches and attaches the trace context to their DELTA (and
+	// SNAPSHOT_CHUNK) frames so the server side can continue the trace.
+	// Nil disables tracing.
+	Spans *obs.SpanTracer
 
 	// BatchOps bounds ops per DELTA frame. Default 64.
 	BatchOps int
@@ -197,7 +202,7 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 	if sh.cfg.Snapshot != nil {
 		base = sh.cfg.Snapshot.Log.Base()
 	}
-	if err := WriteFrame(conn, FrameHello, 0, helloPayload(sh.cfg.Source, base)); err != nil {
+	if err := WriteFrame(conn, FrameHello, 0, helloPayload(sh.cfg.Source, base, time.Now().UnixNano())); err != nil {
 		return errReconnect
 	}
 	typ, _, payload, err := ReadFrame(conn)
@@ -213,9 +218,16 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 	default:
 		return errReconnect
 	}
-	resume, mode, progress, err := parseWelcome(payload)
+	resume, mode, progress, helloTs, err := parseWelcome(payload)
 	if err != nil {
 		return errReconnect
+	}
+	// First skew exchange: the WELCOME echoes the HELLO's send time with
+	// the server's receive/send pair; our receive time completes it.
+	// HEARTBEAT probes keep re-estimating for the connection's life.
+	skew := &SkewEstimator{}
+	if helloTs != nil {
+		skew.Sample(helloTs.T0, helloTs.T1, helloTs.T2, time.Now().UnixNano())
 	}
 	var pump *bootPump
 	if mode == ModeBootstrap {
@@ -242,8 +254,8 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 	cursor := resume // last seq handed to this connection
 	var pending []pendingBatch
 	sh.inflight.Set(0)
-	lastSent := time.Now()
 	lastRecv := time.Now()
+	var lastProbe time.Time // zero: first loop iteration probes immediately
 	stopping := false
 	for {
 		select {
@@ -298,11 +310,33 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 			} else {
 				firstSend[last] = now
 			}
+			// Head sampling: the trace ID is a pure function of
+			// (source, last seq), so a redelivered batch rejoins its
+			// original trace and the server makes the same decision.
+			frameFlags := byte(0)
+			deltaBody := deltaPayload(prev, encOps)
+			traceID := obs.TraceID(sh.cfg.Source, last)
+			var captureNs int64
+			traced := sh.cfg.Spans.Sampled(traceID)
+			if traced {
+				captureNs = ops[0].Time.UnixNano() // oldest op: worst-case batch freshness
+				deltaBody = appendTraceTrailer(deltaBody, obs.TraceContext{
+					TraceID: traceID, SpanID: obs.SpanIDFor(traceID, "ship"), CaptureUnixNs: captureNs})
+				frameFlags |= FlagTrace
+			}
 			conn.SetWriteDeadline(now.Add(sh.cfg.AckTimeout))
-			if err := WriteFrame(conn, FrameDelta, 0, deltaPayload(prev, encOps)); err != nil {
+			if err := WriteFrame(conn, FrameDelta, frameFlags, deltaBody); err != nil {
 				return errReconnect
 			}
-			lastSent = now
+			if traced {
+				shipID := obs.SpanIDFor(traceID, "ship")
+				capID := obs.SpanIDFor(traceID, "capture")
+				sh.cfg.Spans.Record(obs.SpanRecord{TraceID: traceID, SpanID: capID, Name: "capture",
+					Source: sh.cfg.Source, Seq: last, StartUnixNs: captureNs, EndUnixNs: now.UnixNano()})
+				sh.cfg.Spans.Record(obs.SpanRecord{TraceID: traceID, SpanID: shipID, ParentID: capID,
+					Name: "ship", Source: sh.cfg.Source, Seq: last,
+					StartUnixNs: now.UnixNano(), EndUnixNs: time.Now().UnixNano()})
+			}
 			cursor = last
 			if last > sh.maxSent {
 				sh.maxSent = last
@@ -321,24 +355,25 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 		// writer, interleaved with the delta window so bootstrap never
 		// pauses the live stream (and the stream never pauses bootstrap).
 		if pump != nil && !stopping {
-			sent, err := pump.step(conn, time.Now())
-			if err != nil {
+			if _, err := pump.step(conn, time.Now()); err != nil {
 				return err
-			}
-			if sent {
-				lastSent = time.Now()
 			}
 		}
 
-		// Idle liveness: probe with a heartbeat, and if nothing at all has
-		// arrived for an ack-timeout span, presume the connection dead.
+		// Liveness and skew probes. A probe doubles as the idle
+		// heartbeat but is sent on its interval even under load — the
+		// skew estimate must keep refreshing while deltas flow, since
+		// that is exactly when the freshness metric matters. The probe
+		// carries our current offset estimate so the server can correct
+		// the lag it measures against this source's clock.
 		now := time.Now()
-		if len(pending) == 0 && now.Sub(lastSent) > sh.cfg.HeartbeatEvery {
+		if now.Sub(lastProbe) > sh.cfg.HeartbeatEvery {
+			off, rtt, okEst := skew.Estimate()
 			conn.SetWriteDeadline(now.Add(sh.cfg.AckTimeout))
-			if err := WriteFrame(conn, FrameHeartbeat, 0, nil); err != nil {
+			if err := WriteFrame(conn, FrameHeartbeat, 0, probePayload(now.UnixNano(), off, rtt, okEst)); err != nil {
 				return errReconnect
 			}
-			lastSent = now
+			lastProbe = now
 		}
 		if len(pending) > 0 && now.Sub(pending[0].sentAt) > sh.cfg.AckTimeout {
 			// Oldest batch unacked too long: its DELTA or ACK was lost in
@@ -395,7 +430,11 @@ func (sh *Shipper) runConn(stop <-chan struct{}, b *retry.Backoff, firstSend map
 				pump.onAck(chunkID, round, status, keys, lastRecv)
 			}
 		case FrameHeartbeat:
-			// Echo received: lastRecv already refreshed.
+			// Echo received: lastRecv already refreshed. A version-3 echo
+			// carries the probe's timestamp exchange — another skew sample.
+			if ts, ok := parseEcho(payload); ok {
+				skew.Sample(ts.T0, ts.T1, ts.T2, lastRecv.UnixNano())
+			}
 		case FrameBusy, FrameShutdown:
 			return errReconnect
 		default:

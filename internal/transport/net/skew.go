@@ -1,0 +1,52 @@
+package netrepl
+
+import "sync"
+
+// SkewEstimator estimates the clock offset between the two ends of a
+// replication connection from NTP-style four-timestamp exchanges, so
+// the warehouse can report end-to-end freshness (source capture →
+// replica durable) without assuming synchronized clocks.
+//
+// One exchange yields four timestamps: t0 the client's send, t1 the
+// server's receive, t2 the server's reply send, t3 the client's reply
+// receive (t0/t3 on the client clock, t1/t2 on the server clock). Then
+//
+//	offset θ = ((t1-t0) + (t2-t3)) / 2   // server clock − client clock
+//	rtt    δ = (t3-t0) − (t2-t1)         // network round trip, server hold excluded
+//
+// θ is exact when the outbound and return paths delay equally; with
+// asymmetric delays the error is bounded by δ/2, so the estimator
+// keeps the minimum-RTT sample seen on the connection — the sample
+// with the tightest bound. HELLO/WELCOME provides the first exchange
+// and every HEARTBEAT probe/echo another, re-estimating for the life
+// of the connection.
+type SkewEstimator struct {
+	mu       sync.Mutex
+	have     bool
+	offsetNs int64
+	rttNs    int64
+}
+
+// Sample feeds one exchange. Samples with negative RTT (clock stepped
+// mid-exchange) are discarded; otherwise the minimum-RTT sample wins.
+func (e *SkewEstimator) Sample(t0, t1, t2, t3 int64) {
+	rtt := (t3 - t0) - (t2 - t1)
+	if rtt < 0 {
+		return
+	}
+	offset := ((t1 - t0) + (t2 - t3)) / 2
+	e.mu.Lock()
+	if !e.have || rtt <= e.rttNs {
+		e.have, e.offsetNs, e.rttNs = true, offset, rtt
+	}
+	e.mu.Unlock()
+}
+
+// Estimate returns the current best offset (server − client, ns) and
+// the RTT of the sample it came from; ok is false before any sample.
+// The offset's error is bounded by rttNs/2.
+func (e *SkewEstimator) Estimate() (offsetNs, rttNs int64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.offsetNs, e.rttNs, e.have
+}
